@@ -1,0 +1,189 @@
+// Command bbrepro regenerates the paper's evaluation: every figure and
+// table, printed as text series. Use -experiment to run one experiment or
+// "all" for the full evaluation.
+//
+//	bbrepro -experiment fig8 -scale 128 -accesses 1500000
+//
+// Experiments: table1, table2, fig1, fig6, fig7, fig8, metadata,
+// overfetch, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/harness"
+	"repro/internal/metrics"
+)
+
+// metricsTable wraps a table pointer for the CSV panel map.
+type metricsTable struct{ t *metrics.Table }
+
+// writeCSV creates path and streams CSV into it.
+func writeCSV(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return fn(f)
+}
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "which experiment to run (table1,table2,fig1,fig6,fig7,fig8,mal,mix,metadata,overfetch,all)")
+		scale      = flag.Uint64("scale", 128, "capacity scale factor versus Table I")
+		accesses   = flag.Uint64("accesses", 1_500_000, "memory references per benchmark run")
+		verbose    = flag.Bool("v", false, "log per-run progress")
+		csvDir     = flag.String("csv", "", "also write raw results as CSV into this directory")
+		plot       = flag.Bool("plot", false, "render figure panels as ASCII bar charts")
+	)
+	flag.Parse()
+
+	h := harness.New()
+	h.Scale = *scale
+	h.Accesses = *accesses
+	if *verbose {
+		h.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	run := func(name string, fn func() error) {
+		if *experiment != "all" && *experiment != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "bbrepro: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	known := map[string]bool{"table1": true, "table2": true, "fig1": true, "fig6": true,
+		"fig7": true, "fig8": true, "mal": true, "mix": true, "metadata": true, "overfetch": true, "all": true}
+	if !known[*experiment] {
+		fmt.Fprintf(os.Stderr, "bbrepro: unknown experiment %q (want %s)\n",
+			*experiment, strings.Join([]string{"table1", "table2", "fig1", "fig6", "fig7", "fig8", "mal", "mix", "metadata", "overfetch", "all"}, ", "))
+		os.Exit(2)
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "bbrepro: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	run("table1", func() error {
+		fmt.Println(h.Table1())
+		return nil
+	})
+	run("table2", func() error {
+		rows, err := h.Table2()
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.Table2Text(rows))
+		return nil
+	})
+	run("fig1", func() error {
+		res, err := h.Fig1()
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.Fig1Table(res))
+		return nil
+	})
+	run("fig6", func() error {
+		res, err := h.Fig6()
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.Fig6Table(res))
+		return nil
+	})
+	run("fig7", func() error {
+		res, err := h.Fig7()
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.Fig7Table(res))
+		if *plot {
+			labels := make([]string, len(res))
+			values := make([]float64, len(res))
+			for i, r := range res {
+				labels[i], values[i] = r.Label, r.Speedup
+			}
+			fmt.Println(metrics.BarChart("Figure 7 (geomean speedup)", labels, values, 40))
+		}
+		return nil
+	})
+	run("fig8", func() error {
+		res, err := h.Fig8()
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.IPC.String())
+		fmt.Println(res.HBM.String())
+		fmt.Println(res.DRAM.String())
+		fmt.Println(res.Energy.String())
+		fmt.Println(res.Summary())
+		if *plot {
+			fmt.Println(res.IPC.TableBars("All", 40))
+			fmt.Println(res.HBM.TableBars("All", 40))
+			fmt.Println(res.Energy.TableBars("All", 40))
+		}
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir+"/fig8_runs.csv", func(w *os.File) error {
+				return harness.WriteRunsCSV(w, res.PerRun)
+			}); err != nil {
+				return err
+			}
+			panels := map[string]*metricsTable{
+				"fig8a_ipc.csv":    {res.IPC},
+				"fig8b_hbm.csv":    {res.HBM},
+				"fig8c_dram.csv":   {res.DRAM},
+				"fig8d_energy.csv": {res.Energy},
+			}
+			for name, p := range panels {
+				if err := writeCSV(*csvDir+"/"+name, func(w *os.File) error {
+					return harness.WriteTableCSV(w, p.t)
+				}); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	run("mix", func() error {
+		res, err := h.Mix(nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.MixTable(nil, res))
+		return nil
+	})
+	run("mal", func() error {
+		res, err := h.MAL()
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.MALTable(res))
+		return nil
+	})
+	run("metadata", func() error {
+		fmt.Println(harness.MetadataReport())
+		return nil
+	})
+	run("overfetch", func() error {
+		res, err := h.Overfetch()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("== Section IV-B: over-fetching (data brought into HBM but unused) ==\n")
+		fmt.Printf("bumblebee %5.1f%%   (paper: 13.3%%)\n", res.Bumblebee*100)
+		fmt.Printf("hybrid2   %5.1f%%   (paper: 13.7%%)\n", res.Hybrid2*100)
+		return nil
+	})
+}

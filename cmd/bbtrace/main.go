@@ -1,0 +1,141 @@
+// Command bbtrace generates, inspects, and characterizes memory access
+// traces in the repository's compact binary format (.bbtr).
+//
+//	bbtrace gen -bench mcf -n 1000000 -o mcf.bbtr     # record a synthetic stream
+//	bbtrace info mcf.bbtr                             # characterize a trace
+//	bbtrace bench                                     # characterize all Table II profiles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		gen(os.Args[2:])
+	case "info":
+		info(os.Args[2:])
+	case "bench":
+		benchTable(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: bbtrace gen|info|bench [flags]")
+	os.Exit(2)
+}
+
+func gen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	bench := fs.String("bench", "mcf", "Table II benchmark name")
+	n := fs.Uint64("n", 1_000_000, "accesses to record")
+	scale := fs.Uint64("scale", 128, "footprint scale factor")
+	out := fs.String("o", "", "output file (default <bench>.bbtr)")
+	fs.Parse(args)
+
+	b, err := trace.ByName(*bench)
+	if err != nil {
+		log.Fatalf("bbtrace: unknown benchmark %q (known: %s)", *bench, strings.Join(trace.Names(), ", "))
+	}
+	gen, err := trace.NewSynthetic(b.Scale(*scale).Profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	path := *out
+	if path == "" {
+		path = *bench + ".bbtr"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := uint64(0); i < *n; i++ {
+		a, ok := gen.Next()
+		if !ok {
+			break
+		}
+		if err := w.Write(a); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d accesses to %s (%.2f MB, %.2f B/access)\n",
+		w.Count(), path, float64(st.Size())/1e6, float64(st.Size())/float64(w.Count()))
+}
+
+func info(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	max := fs.Uint64("n", 1<<62, "max accesses to read")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		log.Fatal("bbtrace info: need one trace file")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := trace.Characterize(r, *max)
+	if err := r.Err(); err != nil {
+		log.Fatalf("bbtrace: %v", err)
+	}
+	printChar(fs.Arg(0), c)
+}
+
+func benchTable(args []string) {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	n := fs.Uint64("n", 300_000, "accesses to characterize per profile")
+	scale := fs.Uint64("scale", 128, "footprint scale factor")
+	fs.Parse(args)
+	fmt.Printf("%-11s %10s %10s %9s %9s %9s\n",
+		"bench", "accesses", "footprint", "seq%", "reuse%", "write%")
+	for _, b := range trace.TableII() {
+		gen, err := trace.NewSynthetic(b.Scale(*scale).Profile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c := trace.Characterize(gen, *n)
+		fmt.Printf("%-11s %10d %9.1fM %8.1f%% %8.1f%% %8.1f%%\n",
+			b.Profile.Name, c.Accesses, float64(c.FootprintB)/1e6,
+			c.SeqFraction*100, c.ReuseFraction*100,
+			float64(c.Writes)/float64(c.Accesses)*100)
+	}
+}
+
+func printChar(name string, c trace.Characteristics) {
+	fmt.Printf("trace %s\n", name)
+	fmt.Printf("accesses       %12d\n", c.Accesses)
+	fmt.Printf("instructions   %12d\n", c.Instructions)
+	fmt.Printf("writes         %12d (%.1f%%)\n", c.Writes, float64(c.Writes)/float64(c.Accesses)*100)
+	fmt.Printf("footprint      %12.1f MB\n", float64(c.FootprintB)/1e6)
+	fmt.Printf("seq fraction   %12.1f%%\n", c.SeqFraction*100)
+	fmt.Printf("reuse fraction %12.1f%%\n", c.ReuseFraction*100)
+	fmt.Printf("address range  %#x .. %#x\n", uint64(c.MinAddr), uint64(c.MaxAddr))
+}

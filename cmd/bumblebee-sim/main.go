@@ -1,0 +1,132 @@
+// Command bumblebee-sim runs one workload on one hybrid memory design and
+// prints the full result: IPC, MPKI, serve rates, movement counters,
+// per-device traffic and dynamic energy.
+//
+//	bumblebee-sim -design bumblebee -bench mcf
+//	bumblebee-sim -design hybrid2 -bench roms -scale 64 -accesses 2000000
+//	bumblebee-sim -design bumblebee -trace run.bbtr
+//
+// Designs: bumblebee, hybrid2, chameleon, banshee, alloy, unison, c-only,
+// m-only, no-hbm.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/energy"
+	"repro/internal/harness"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		design    = flag.String("design", "bumblebee", "memory design to simulate")
+		bench     = flag.String("bench", "mcf", "Table II benchmark name")
+		traceFile = flag.String("trace", "", "replay a recorded .bbtr trace instead of a benchmark")
+		scale     = flag.Uint64("scale", 128, "capacity scale factor versus Table I")
+		accesses  = flag.Uint64("accesses", 1_000_000, "memory references to simulate")
+		blockKB   = flag.Uint64("block", 2, "Bumblebee block size in KB")
+		pageKB    = flag.Uint64("page", 64, "Bumblebee page size in KB")
+		inspect   = flag.Int("inspect", -1, "dump this remapping set's state after the run (Bumblebee only)")
+	)
+	flag.Parse()
+
+	h := harness.New()
+	h.Scale = *scale
+	h.Accesses = *accesses
+	sys := h.System()
+	sys.BlockBytes = *blockKB * 1024
+	sys.PageBytes = *pageKB * 1024
+
+	mem, err := harness.Build(config.Design(*design), sys)
+	if err != nil {
+		log.Fatalf("bumblebee-sim: %v", err)
+	}
+
+	var stream trace.Stream
+	var label string
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			log.Fatalf("bumblebee-sim: %v", err)
+		}
+		defer f.Close()
+		r, err := trace.NewReader(f)
+		if err != nil {
+			log.Fatalf("bumblebee-sim: %v", err)
+		}
+		stream = &trace.Limit{S: r, N: *accesses}
+		label = *traceFile
+	} else {
+		b, err := trace.ByName(*bench)
+		if err != nil {
+			log.Fatalf("bumblebee-sim: unknown benchmark %q (known: %s)",
+				*bench, strings.Join(trace.Names(), ", "))
+		}
+		gen, err := trace.NewSynthetic(b.Scale(h.Scale).Profile)
+		if err != nil {
+			log.Fatalf("bumblebee-sim: %v", err)
+		}
+		stream = &trace.Limit{S: gen, N: *accesses}
+		label = b.Profile.Name
+	}
+
+	hier, err := cache.NewHierarchy(sys.Caches)
+	if err != nil {
+		log.Fatalf("bumblebee-sim: %v", err)
+	}
+	res, err := cpu.Run(sys.Core, hier, mem, stream)
+	if err != nil {
+		log.Fatalf("bumblebee-sim: %v", err)
+	}
+
+	cnt := mem.Counters()
+	hbm := mem.Devices().HBM.Stats()
+	ddr := mem.Devices().DRAM.Stats()
+	e := energy.FromStats(hbm, ddr)
+
+	fmt.Printf("design %s, workload %s, scale 1/%d\n\n", mem.Name(), label, *scale)
+	fmt.Printf("instructions    %12d\n", res.Instructions)
+	fmt.Printf("cycles          %12d\n", res.Cycles)
+	fmt.Printf("IPC             %12.3f\n", res.IPC())
+	fmt.Printf("MPKI            %12.1f\n", res.MPKI())
+	fmt.Printf("avg miss lat    %12.0f cycles\n", res.AvgMissLatency())
+	fmt.Printf("LLC misses      %12d (served HBM %.1f%%)\n", res.LLCMisses, cnt.HBMServeRate()*100)
+	fmt.Printf("page faults     %12d\n", cnt.PageFaults)
+	fmt.Println()
+	fmt.Printf("block fills     %12d\n", cnt.BlockFills)
+	fmt.Printf("page migrations %12d\n", cnt.PageMigrations)
+	fmt.Printf("mode switches   %12d\n", cnt.ModeSwitches)
+	fmt.Printf("page swaps      %12d\n", cnt.PageSwaps)
+	fmt.Printf("evictions       %12d\n", cnt.Evictions)
+	fmt.Printf("over-fetch      %12.1f%%\n", cnt.OverfetchRate()*100)
+	fmt.Println()
+	fmt.Printf("HBM traffic     %12.1f MB  (%d row hits, %d activates)\n",
+		float64(hbm.TotalBytes())/1e6, hbm.RowHits, hbm.Activates)
+	fmt.Printf("DRAM traffic    %12.1f MB  (%d row hits, %d activates)\n",
+		float64(ddr.TotalBytes())/1e6, ddr.RowHits, ddr.Activates)
+	fmt.Printf("dynamic energy  %12.3f mJ  (HBM %.3f, DRAM %.3f)\n",
+		e.TotalMJ(), e.HBMPJ()/1e9, e.DRAMPJ()/1e9)
+	fmt.Printf("metadata        %12d lookups (%d to HBM)\n", cnt.MetaLookups, cnt.MetaHBM)
+
+	if bb, ok := mem.(*core.Bumblebee); ok {
+		fmt.Println()
+		bb.Summary(os.Stdout)
+		if *inspect >= 0 {
+			fmt.Println()
+			if err := bb.DumpSet(os.Stdout, uint64(*inspect)); err != nil {
+				log.Fatalf("bumblebee-sim: %v", err)
+			}
+		}
+	} else if *inspect >= 0 {
+		log.Fatalf("bumblebee-sim: -inspect needs a Bumblebee-family design")
+	}
+}

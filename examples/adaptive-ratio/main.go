@@ -1,0 +1,94 @@
+// Adaptive-ratio: demonstrates Bumblebee's headline feature — the
+// cHBM:mHBM ratio adapting at runtime. The program runs three workload
+// phases with different locality and footprint through one Bumblebee
+// instance and samples how many HBM frames serve as cHBM vs mHBM after
+// each phase.
+//
+//	go run ./examples/adaptive-ratio
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/addr"
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/trace"
+)
+
+func scaledSys() config.System {
+	sys := config.Default().Scaled(256)
+	for i := range sys.Caches {
+		sys.Caches[i].SizeBytes /= 256
+		min := uint64(sys.Caches[i].Ways) * sys.Caches[i].LineBytes * 4
+		if sys.Caches[i].SizeBytes < min {
+			sys.Caches[i].SizeBytes = min
+		}
+	}
+	return sys
+}
+
+func main() {
+	sys := scaledSys()
+	bb, err := core.New(sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hier, err := cache.NewHierarchy(sys.Caches)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	phases := []trace.Profile{
+		{
+			// Strong spatial + strong temporal (mcf-like): long runs over
+			// a hot set that fits HBM; pages densify and switch to mHBM.
+			Name: "mcf-like", FootprintBytes: 6 * addr.MiB, AvgGap: 6,
+			RunMean: 256, HotFraction: 0.25, HotProbability: 0.92, WriteFraction: 0.25,
+		},
+		{
+			// Weak spatial + strong temporal (wrf-like): scattered 64 B
+			// references over a footprint far beyond HBM; block-granular
+			// cHBM avoids over-fetching and dominates.
+			Name: "wrf-like", FootprintBytes: 38 * addr.MiB, AvgGap: 6,
+			RunMean: 1.2, HotFraction: 0.03, HotProbability: 0.7, WriteFraction: 0.3,
+			ScatteredHot: true,
+		},
+		{
+			// Footprint beyond off-chip DRAM: the HMF machinery hands HBM
+			// frames to the OS (cHBM is flushed, mHBM grows) and the
+			// design avoids the page faults a cache-only system would pay.
+			Name: "spill", FootprintBytes: 43 * addr.MiB, AvgGap: 6,
+			RunMean: 32, HotFraction: 0.2, HotProbability: 0.5, WriteFraction: 0.3,
+		},
+	}
+
+	fmt.Println("phase       IPC     HBM-serve%   cHBM-frames  mHBM-frames  free   faults")
+	for _, p := range phases {
+		gen, err := trace.NewSynthetic(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		before := bb.Counters()
+		res, err := cpu.Run(sys.Core, hier, bb, &trace.Limit{S: gen, N: 1_000_000})
+		if err != nil {
+			log.Fatal(err)
+		}
+		after := bb.Counters()
+		cached, pom, free := bb.FrameModes()
+		served := float64(after.ServedHBM-before.ServedHBM) /
+			float64(after.Requests-before.Requests) * 100
+		fmt.Printf("%-10s %5.3f   %9.1f%%   %11d  %11d  %4d   %6d\n",
+			p.Name, res.IPC(), served, cached, pom, free,
+			after.PageFaults-before.PageFaults)
+	}
+	fmt.Println("\nWhat to look for: the hot mcf-like phase is served almost entirely")
+	fmt.Println("from HBM; the scattered wrf-like phase leans on block-granular cHBM")
+	fmt.Println("fills without over-fetching whole pages; and when the footprint")
+	fmt.Println("spills past off-chip DRAM, frames are handed to the OS as mHBM and")
+	fmt.Println("the system takes zero page faults — a cache-only design cannot do")
+	fmt.Println("that. The ratio adapts at runtime, without a reboot: the paper's pitch.")
+}

@@ -1,0 +1,79 @@
+// VM-fragmentation: the paper's PRT indexes pages "decided by the OS
+// memory allocator and the virtual to physical address mapping mechanism
+// in OS". This example runs the same virtual-address workload through
+// two OS frame allocators — a fresh-boot bump allocator and a
+// long-running fragmented free list — and shows how physical-page
+// fragmentation affects Bumblebee's allocation and migration behaviour.
+//
+//	go run ./examples/vm-fragmentation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/addr"
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+func main() {
+	sys := config.Default().Scaled(256)
+	for i := range sys.Caches {
+		sys.Caches[i].SizeBytes /= 256
+		min := uint64(sys.Caches[i].Ways) * sys.Caches[i].LineBytes * 4
+		if sys.Caches[i].SizeBytes < min {
+			sys.Caches[i].SizeBytes = min
+		}
+	}
+	phys := sys.DRAM.CapacityBytes + sys.HBM.CapacityBytes
+
+	profile := trace.Profile{
+		Name: "frag-demo", FootprintBytes: 24 * addr.MiB, AvgGap: 6,
+		RunMean: 32, HotFraction: 0.15, HotProbability: 0.85,
+		WriteFraction: 0.3, InitSweep: true,
+	}
+
+	fmt.Println("policy       IPC     HBM-serve%   migrations  switches  evictions")
+	for _, pc := range []struct {
+		name   string
+		policy vm.Policy
+	}{
+		{"sequential", vm.Sequential},
+		{"fragmented", vm.Fragmented},
+	} {
+		bb, err := core.New(sys)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hier, err := cache.NewHierarchy(sys.Caches)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gen, err := trace.NewSynthetic(profile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mapper, err := vm.New(sys.PageBytes, phys, pc.policy, 11)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stream := &vm.Stream{S: &trace.Limit{S: gen, N: 1_000_000}, M: mapper}
+		res, err := cpu.Run(sys.Core, hier, bb, stream)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c := bb.Counters()
+		fmt.Printf("%-11s %5.3f   %9.1f%%   %10d  %8d  %9d\n",
+			pc.name, res.IPC(), c.HBMServeRate()*100,
+			c.PageMigrations, c.ModeSwitches, c.Evictions)
+	}
+	fmt.Println("\nA fragmented OS free list scatters virtually-adjacent hot pages")
+	fmt.Println("across remapping sets. Bumblebee's PRT remaps within each set, so")
+	fmt.Println("it absorbs the fragmentation — compare the two rows: the serve")
+	fmt.Println("rates stay close, at the cost of some extra movement.")
+}

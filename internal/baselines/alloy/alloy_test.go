@@ -1,0 +1,105 @@
+package alloy
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/config"
+)
+
+func newCache(t *testing.T) *Cache {
+	t.Helper()
+	c, err := New(config.Default().Scaled(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := newCache(t)
+	a := addr.Addr(0x1000)
+	now := c.Access(0, a, false)
+	cnt := c.Counters()
+	if cnt.ServedDRAM != 1 || cnt.ServedHBM != 0 {
+		t.Fatalf("cold access counters = %+v", cnt)
+	}
+	c.Access(now, a, false)
+	cnt = c.Counters()
+	if cnt.ServedHBM != 1 {
+		t.Errorf("second access not served by HBM: %+v", cnt)
+	}
+}
+
+func TestHitReadsSingleTAD(t *testing.T) {
+	c := newCache(t)
+	a := addr.Addr(0)
+	now := c.Access(0, a, false)
+	rdBefore := c.Devices().HBM.Stats().Reads
+	c.Access(now, a, false)
+	// A read hit costs exactly one HBM burst (the TAD).
+	if got := c.Devices().HBM.Stats().Reads - rdBefore; got != 1 {
+		t.Errorf("hit issued %d HBM reads, want 1", got)
+	}
+}
+
+func TestDirectMappedConflict(t *testing.T) {
+	c := newCache(t)
+	nLines := uint64(len(c.lines))
+	a1 := addr.Addr(0)
+	a2 := addr.Addr(nLines * 64) // same slot
+	now := c.Access(0, a1, false)
+	now = c.Access(now, a2, false) // evicts a1
+	c.Access(now, a1, false)       // must miss again
+	cnt := c.Counters()
+	if cnt.ServedHBM != 0 {
+		t.Errorf("conflicting lines produced HBM hits: %+v", cnt)
+	}
+}
+
+func TestDirtyVictimWritesBack(t *testing.T) {
+	c := newCache(t)
+	nLines := uint64(len(c.lines))
+	now := c.Access(0, 0, true) // dirty fill
+	wrBefore := c.Devices().DRAM.Stats().WriteBytes
+	c.Access(now, addr.Addr(nLines*64), false) // conflict evicts dirty line
+	if got := c.Devices().DRAM.Stats().WriteBytes - wrBefore; got < 64 {
+		t.Errorf("dirty victim wrote %d bytes to DRAM, want >= 64", got)
+	}
+	if c.Counters().Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", c.Counters().Evictions)
+	}
+}
+
+func TestWritebackHitAndMiss(t *testing.T) {
+	c := newCache(t)
+	a := addr.Addr(0)
+	now := c.Access(0, a, false)
+	hbmW := c.Devices().HBM.Stats().WriteBytes
+	c.Writeback(now, a)
+	if c.Devices().HBM.Stats().WriteBytes <= hbmW {
+		t.Error("writeback of resident line missed HBM")
+	}
+	dramW := c.Devices().DRAM.Stats().WriteBytes
+	c.Writeback(now, addr.Addr(1<<20))
+	if c.Devices().DRAM.Stats().WriteBytes <= dramW {
+		t.Error("writeback of absent line missed DRAM")
+	}
+}
+
+func TestNoOverfetchByConstruction(t *testing.T) {
+	c := newCache(t)
+	var now uint64
+	for i := 0; i < 500; i++ {
+		now = c.Access(now, addr.Addr(i*64*131), i%2 == 0)
+	}
+	if r := c.Counters().OverfetchRate(); r != 0 {
+		t.Errorf("alloy overfetch = %f, want 0 (64B fills)", r)
+	}
+}
+
+func TestName(t *testing.T) {
+	if newCache(t).Name() != "alloy" {
+		t.Error("bad name")
+	}
+}

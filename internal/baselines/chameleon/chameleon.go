@@ -1,0 +1,192 @@
+// Package chameleon implements Chameleon (Kotra et al., MICRO 2018): a
+// part-of-memory (POM) design. The flat address space is divided into
+// remapping groups of G off-chip DRAM segments plus exactly one HBM
+// segment ("it restricts only one HBM sector in each remapping set"); a
+// hot DRAM segment swaps with the group's HBM occupant when its access
+// counter overtakes it. Remap metadata lives in HBM behind a small SRAM
+// metadata cache, so metadata misses cost HBM bandwidth and latency —
+// the overhead the paper calls out.
+package chameleon
+
+import (
+	"repro/internal/addr"
+	"repro/internal/config"
+	"repro/internal/hmm"
+)
+
+// swapDelta is the hysteresis before a hot segment displaces the HBM
+// occupant, economizing migration bandwidth like Chameleon's lazy policy.
+const swapDelta = 4
+
+// group is one remapping group. Members 0..G-1 are the DRAM segments,
+// member G is the group's native HBM segment. loc is the data-location
+// permutation: loc[m] is the slot holding member m's data (values 0..G-1
+// name DRAM slots, G names the HBM segment), so repeated swaps stay
+// consistent. hbmOwner caches the member whose loc is G.
+type group struct {
+	loc      []uint16
+	hbmOwner uint16
+	counts   []uint32
+}
+
+// System is the Chameleon POM design.
+type System struct {
+	dev    *hmm.Devices
+	cnt    hmm.Counters
+	meta   *hmm.Meta
+	mcache *hmm.MetaCache
+	os     *hmm.OSMem
+	mover  *hmm.Mover
+	groups []group
+	g      uint64 // DRAM segments per group
+	ticks  uint64
+}
+
+var _ hmm.MemSystem = (*System)(nil)
+
+// segmentBytes is Chameleon's remapping granularity: small sectors keep
+// swap costs low (the published design manages KB-scale segments, far
+// finer than Bumblebee's 64 KB pages).
+const segmentBytes = 4 * addr.KiB
+
+// New builds a Chameleon system over the devices of sys with its own
+// 4 KB-segment geometry.
+func New(sys config.System) (*System, error) {
+	geom, err := addr.NewGeometry(segmentBytes, 64, sys.DRAM.CapacityBytes, sys.HBM.CapacityBytes, 1)
+	if err != nil {
+		return nil, err
+	}
+	dev, err := hmm.NewDevicesWithGeometry(sys, geom)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		dev:    dev,
+		g:      geom.DRAMPages() / geom.HBMPages(),
+		groups: make([]group, geom.HBMPages()),
+	}
+	for i := range s.groups {
+		loc := make([]uint16, s.g+1)
+		for m := range loc {
+			loc[m] = uint16(m)
+		}
+		s.groups[i] = group{loc: loc, hbmOwner: uint16(s.g), counts: make([]uint32, s.g+1)}
+	}
+	s.os = hmm.NewOSMem(geom.DRAMBytes+geom.HBMBytes, geom.PageSize, sys.PageFaultNS, sys.Core.FreqMHz)
+	dramBPC := sys.DRAM.PeakBandwidthGBs() * 1e9 / (float64(sys.Core.FreqMHz) * 1e6)
+	s.mover = hmm.NewMover(0.5 * dramBPC)
+	s.meta = hmm.NewMeta(sys, dev, true)
+	// 512 KB SRAM metadata cache at ~8 B per entry.
+	s.mcache, err = hmm.NewMetaCache(s.meta, 64*1024)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Name implements hmm.MemSystem.
+func (s *System) Name() string { return "chameleon" }
+
+// Devices implements hmm.MemSystem.
+func (s *System) Devices() *hmm.Devices { return s.dev }
+
+// Counters implements hmm.MemSystem.
+func (s *System) Counters() hmm.Counters {
+	c := s.cnt
+	c.MetaLookups = s.meta.Lookups
+	c.MetaHBM = s.meta.HBMHits
+	c.PageFaults = s.os.Faults
+	return c
+}
+
+// locate maps a flat address to (group, member, offset). Segments
+// interleave across groups; member g is the group's own HBM segment.
+func (s *System) locate(a addr.Addr) (grp uint64, member uint64, off uint64) {
+	geom := s.dev.Geom
+	p := geom.PageOf(a) % (geom.DRAMPages() + geom.HBMPages())
+	off = geom.PageOffset(a)
+	if geom.IsHBMPage(p) {
+		return (p - geom.DRAMPages()) % uint64(len(s.groups)), s.g, off
+	}
+	return p % uint64(len(s.groups)), p / uint64(len(s.groups)) % s.g, off
+}
+
+func (s *System) decay() {
+	s.ticks++
+	if s.ticks%(1<<14) != 0 {
+		return
+	}
+	for gi := range s.groups {
+		for m := range s.groups[gi].counts {
+			s.groups[gi].counts[m] /= 2
+		}
+	}
+}
+
+// dramSeg returns the DRAM device frame index of member m in group grp.
+func (s *System) dramSeg(grp, m uint64) uint64 { return m*uint64(len(s.groups)) + grp }
+
+// Access implements hmm.MemSystem.
+func (s *System) Access(now uint64, a addr.Addr, write bool) uint64 {
+	s.cnt.Requests++
+	s.decay()
+	now = s.os.Admit(now, uint64(a)/s.dev.Geom.PageSize)
+	grp, member, off := s.locate(a)
+	g := &s.groups[grp]
+
+	// Remap lookup through the SRAM metadata cache over in-HBM metadata.
+	metaDone := s.mcache.Lookup(now, grp)
+
+	g.counts[member]++
+	off64 := off &^ 63
+
+	var done uint64
+	if loc := g.loc[member]; loc == uint16(s.g) {
+		done = s.dev.AccessHBM(metaDone, grp, off64, 64, write)
+		s.cnt.ServedHBM++
+	} else {
+		done = s.dev.AccessDRAM(metaDone, s.dramSeg(grp, uint64(loc)), off64, 64, write)
+		s.cnt.ServedDRAM++
+		if member != s.g {
+			s.maybeSwap(now, grp, member)
+		}
+	}
+	return done
+}
+
+// maybeSwap swaps the accessed DRAM segment into HBM when its counter
+// overtakes the occupant's by the hysteresis.
+func (s *System) maybeSwap(now uint64, grp, member uint64) {
+	g := &s.groups[grp]
+	occupant := uint64(g.hbmOwner)
+	if g.counts[member] <= g.counts[occupant]+swapDelta {
+		return
+	}
+	if !s.mover.TryStart(now, 2*s.dev.Geom.PageSize) {
+		return // movement engine saturated
+	}
+	// Swap data: the member's segment moves to HBM, the occupant's data
+	// moves to the member's current DRAM slot.
+	memberSlot := g.loc[member]
+	s.dev.SwapPages(now, s.dramSeg(grp, uint64(memberSlot)), grp)
+	g.loc[occupant] = memberSlot
+	g.loc[member] = uint16(s.g)
+	g.hbmOwner = uint16(member)
+	s.cnt.PageSwaps++
+	s.cnt.FetchedBytes += s.dev.Geom.PageSize
+	// Metadata update in HBM.
+	s.meta.Update(now, grp)
+}
+
+// Writeback implements hmm.MemSystem.
+func (s *System) Writeback(now uint64, a addr.Addr) {
+	s.cnt.Writebacks++
+	grp, member, off := s.locate(a)
+	g := &s.groups[grp]
+	off64 := off &^ 63
+	if loc := g.loc[member]; loc == uint16(s.g) {
+		s.dev.WriteHBM(now, grp, off64, 64)
+	} else {
+		s.dev.WriteDRAM(now, s.dramSeg(grp, uint64(loc)), off64, 64)
+	}
+}

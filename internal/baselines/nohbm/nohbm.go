@@ -1,0 +1,65 @@
+// Package nohbm implements the paper's normalization baseline: a system
+// whose memory is only off-chip DRAM. Every result in the evaluation is
+// reported relative to this design ("all our results are normalized to a
+// baseline system without HBM").
+package nohbm
+
+import (
+	"repro/internal/addr"
+	"repro/internal/config"
+	"repro/internal/hmm"
+)
+
+// System routes every request to off-chip DRAM.
+type System struct {
+	dev *hmm.Devices
+	cnt hmm.Counters
+	os  *hmm.OSMem
+}
+
+var _ hmm.MemSystem = (*System)(nil)
+
+// New builds the no-HBM baseline.
+func New(sys config.System) (*System, error) {
+	dev, err := hmm.NewDevices(sys)
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		dev: dev,
+		os:  hmm.NewOSMem(dev.Geom.DRAMBytes, dev.Geom.PageSize, sys.PageFaultNS, sys.Core.FreqMHz),
+	}, nil
+}
+
+// Name implements hmm.MemSystem.
+func (s *System) Name() string { return "no-hbm" }
+
+// Devices implements hmm.MemSystem.
+func (s *System) Devices() *hmm.Devices { return s.dev }
+
+// Counters implements hmm.MemSystem.
+func (s *System) Counters() hmm.Counters {
+	c := s.cnt
+	c.PageFaults = s.os.Faults
+	return c
+}
+
+// local folds the flat address into the DRAM device: without HBM the
+// OS-visible memory is only the DRAM capacity.
+func (s *System) local(a addr.Addr) addr.Addr {
+	return addr.Addr(uint64(a) % s.dev.Geom.DRAMBytes)
+}
+
+// Access implements hmm.MemSystem.
+func (s *System) Access(now uint64, a addr.Addr, write bool) uint64 {
+	s.cnt.Requests++
+	s.cnt.ServedDRAM++
+	now = s.os.Admit(now, uint64(a)/s.dev.Geom.PageSize)
+	return s.dev.DRAM.Access(now, s.local(a), 64, write)
+}
+
+// Writeback implements hmm.MemSystem.
+func (s *System) Writeback(now uint64, a addr.Addr) {
+	s.cnt.Writebacks++
+	s.dev.DRAM.Access(now, s.local(a), 64, true)
+}

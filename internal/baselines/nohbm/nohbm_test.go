@@ -1,0 +1,53 @@
+package nohbm
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/config"
+)
+
+func TestAllTrafficGoesToDRAM(t *testing.T) {
+	s, err := New(config.Default().Scaled(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var now uint64
+	for i := 0; i < 100; i++ {
+		now = s.Access(now, addr.Addr(i*64), i%3 == 0)
+	}
+	s.Writeback(now, 0)
+	if got := s.Devices().HBM.Stats().TotalBytes(); got != 0 {
+		t.Errorf("HBM traffic = %d, want 0", got)
+	}
+	if got := s.Devices().DRAM.Stats().TotalBytes(); got != 101*64 {
+		t.Errorf("DRAM traffic = %d, want %d", got, 101*64)
+	}
+	c := s.Counters()
+	if c.Requests != 100 || c.ServedDRAM != 100 || c.ServedHBM != 0 || c.Writebacks != 1 {
+		t.Errorf("counters = %+v", c)
+	}
+	if s.Name() != "no-hbm" {
+		t.Errorf("name = %q", s.Name())
+	}
+}
+
+func TestAddressesBeyondDRAMWrap(t *testing.T) {
+	sys := config.Default().Scaled(256)
+	s, err := New(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	huge := addr.Addr(sys.DRAM.CapacityBytes + 12345)
+	if done := s.Access(0, huge, false); done == 0 {
+		t.Error("wrapped access did not complete")
+	}
+}
+
+func TestRejectsInvalidConfig(t *testing.T) {
+	sys := config.Default()
+	sys.Core.MLP = 0
+	if _, err := New(sys); err == nil {
+		t.Error("invalid config accepted")
+	}
+}

@@ -1,0 +1,238 @@
+// Package unison implements Unison Cache (Jevdjic et al., MICRO 2014):
+// the die-stacked HBM is a set-associative page-based DRAM cache whose
+// tags are embedded in HBM alongside the data, with per-page footprint
+// prediction so that a fill fetches only the blocks the page used during
+// its previous residency instead of the whole page.
+package unison
+
+import (
+	"repro/internal/addr"
+	"repro/internal/config"
+	"repro/internal/hmm"
+)
+
+const (
+	pageBytes  = 4 * addr.KiB
+	blockBytes = 64
+	ways       = 4
+	blocksPer  = int(pageBytes / blockBytes)
+)
+
+type way struct {
+	tag     uint64 // DRAM page number cached here
+	valid   bool
+	lruTick uint64
+	present [blocksPer / 64]uint64 // fetched blocks
+	dirty   [blocksPer / 64]uint64
+	touched [blocksPer / 64]uint64 // accessed during this residency
+}
+
+func bit(i uint64) (int, uint64) { return int(i / 64), 1 << (i % 64) }
+
+func (w *way) get(v *[blocksPer / 64]uint64, i uint64) bool {
+	idx, m := bit(i)
+	return v[idx]&m != 0
+}
+
+func (w *way) set(v *[blocksPer / 64]uint64, i uint64) {
+	idx, m := bit(i)
+	v[idx] |= m
+}
+
+// Cache is the Unison Cache design.
+type Cache struct {
+	dev  *hmm.Devices
+	cnt  hmm.Counters
+	os   *hmm.OSMem
+	sets [][]way
+	tick uint64
+
+	// footprint history: DRAM page -> touched bitmap of its last
+	// residency, driving the next fill's fetch set.
+	history map[uint64][blocksPer / 64]uint64
+}
+
+var _ hmm.MemSystem = (*Cache)(nil)
+
+// New builds a Unison Cache over the system's devices.
+func New(sys config.System) (*Cache, error) {
+	dev, err := hmm.NewDevices(sys)
+	if err != nil {
+		return nil, err
+	}
+	pages := dev.Geom.HBMBytes / pageBytes
+	nsets := pages / ways
+	c := &Cache{
+		dev:     dev,
+		os:      hmm.NewOSMem(dev.Geom.DRAMBytes, dev.Geom.PageSize, sys.PageFaultNS, sys.Core.FreqMHz),
+		sets:    make([][]way, nsets),
+		history: make(map[uint64][blocksPer / 64]uint64),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]way, ways)
+	}
+	return c, nil
+}
+
+// Name implements hmm.MemSystem.
+func (c *Cache) Name() string { return "unison" }
+
+// Devices implements hmm.MemSystem.
+func (c *Cache) Devices() *hmm.Devices { return c.dev }
+
+// Counters implements hmm.MemSystem.
+func (c *Cache) Counters() hmm.Counters {
+	out := c.cnt
+	out.PageFaults = c.os.Faults
+	return out
+}
+
+func (c *Cache) dramLocal(a addr.Addr) addr.Addr {
+	return addr.Addr(uint64(a) % c.dev.Geom.DRAMBytes)
+}
+
+// hbmAddr returns the HBM byte address of block blk of way w in set.
+func (c *Cache) hbmAddr(set uint64, w int, blk uint64) addr.Addr {
+	return addr.Addr(set*uint64(ways)*pageBytes + uint64(w)*pageBytes + blk*blockBytes)
+}
+
+func (c *Cache) lookup(set uint64, page uint64) int {
+	for i := range c.sets[set] {
+		if c.sets[set][i].valid && c.sets[set][i].tag == page {
+			return i
+		}
+	}
+	return -1
+}
+
+func (c *Cache) victim(set uint64) int {
+	v, min := 0, c.sets[set][0].lruTick
+	for i := range c.sets[set] {
+		if !c.sets[set][i].valid {
+			return i
+		}
+		if c.sets[set][i].lruTick < min {
+			v, min = i, c.sets[set][i].lruTick
+		}
+	}
+	return v
+}
+
+// evict writes a victim's dirty blocks back and records its footprint.
+func (c *Cache) evict(now uint64, set uint64, wi int) {
+	w := &c.sets[set][wi]
+	if !w.valid {
+		return
+	}
+	for blk := uint64(0); blk < uint64(blocksPer); blk++ {
+		if w.get(&w.dirty, blk) {
+			rd := c.dev.HBM.Access(now, c.hbmAddr(set, wi, blk), blockBytes, false)
+			c.dev.DRAM.Access(rd, addr.Addr(w.tag*pageBytes+blk*blockBytes), blockBytes, true)
+		}
+	}
+	c.history[w.tag] = w.touched
+	c.cnt.Evictions++
+	w.valid = false
+}
+
+// fill installs page into way wi, fetching the predicted footprint (the
+// page's touched set from its last residency) plus the demand block; a
+// first-time page fetches only the demand block and grows on touch.
+func (c *Cache) fill(now uint64, set uint64, wi int, page uint64, demand uint64) {
+	w := &c.sets[set][wi]
+	*w = way{tag: page, valid: true, lruTick: c.tick}
+	foot, seen := c.history[page]
+	if !seen {
+		var only [blocksPer / 64]uint64
+		idx, m := bit(demand)
+		only[idx] = m
+		foot = only
+	} else {
+		idx, m := bit(demand)
+		foot[idx] |= m
+	}
+	for blk := uint64(0); blk < uint64(blocksPer); blk++ {
+		idx, m := bit(blk)
+		if foot[idx]&m == 0 {
+			continue
+		}
+		rd := c.dev.DRAM.Access(now, addr.Addr(page*pageBytes+blk*blockBytes), blockBytes, false)
+		c.dev.HBM.Access(rd, c.hbmAddr(set, wi, blk), blockBytes, true)
+		w.set(&w.present, blk)
+		c.cnt.FetchedBytes += blockBytes
+	}
+	// Tag write into the embedded tag row.
+	c.dev.HBM.Access(now, c.hbmAddr(set, wi, 0), 16, true)
+	c.cnt.BlockFills++
+}
+
+// Access implements hmm.MemSystem.
+func (c *Cache) Access(now uint64, a addr.Addr, write bool) uint64 {
+	c.cnt.Requests++
+	c.tick++
+	now = c.os.Admit(now, uint64(a)/c.dev.Geom.PageSize)
+	da := c.dramLocal(a)
+	page := uint64(da) / pageBytes
+	blk := (uint64(da) % pageBytes) / blockBytes
+	set := page % uint64(len(c.sets))
+
+	// Embedded tags: the lookup itself is an HBM read.
+	tagDone := c.dev.HBM.Access(now, c.hbmAddr(set, 0, 0), 64, false)
+
+	wi := c.lookup(set, page)
+	if wi >= 0 {
+		w := &c.sets[set][wi]
+		w.lruTick = c.tick
+		if w.get(&w.present, blk) {
+			if !w.get(&w.touched, blk) {
+				w.set(&w.touched, blk)
+				c.cnt.UsedBytes += blockBytes
+			}
+			c.cnt.ServedHBM++
+			if write {
+				w.set(&w.dirty, blk)
+				return c.dev.HBM.Access(tagDone, c.hbmAddr(set, wi, blk), blockBytes, true)
+			}
+			return c.dev.HBM.Access(tagDone, c.hbmAddr(set, wi, blk), blockBytes, false)
+		}
+		// Footprint under-prediction: fetch the missing block.
+		done := c.dev.DRAM.Access(tagDone, addr.Addr(page*pageBytes+blk*blockBytes), blockBytes, write)
+		c.dev.HBM.Access(done, c.hbmAddr(set, wi, blk), blockBytes, true)
+		w.set(&w.present, blk)
+		w.set(&w.touched, blk)
+		c.cnt.FetchedBytes += blockBytes
+		c.cnt.UsedBytes += blockBytes
+		c.cnt.ServedDRAM++
+		return done
+	}
+
+	// Page miss: serve from DRAM, then install the predicted footprint.
+	done := c.dev.DRAM.Access(tagDone, addr.Addr(page*pageBytes+blk*blockBytes), blockBytes, write)
+	c.cnt.ServedDRAM++
+	vi := c.victim(set)
+	c.evict(done, set, vi)
+	c.fill(done, set, vi, page, blk)
+	w := &c.sets[set][vi]
+	w.set(&w.touched, blk)
+	c.cnt.UsedBytes += blockBytes
+	if write {
+		w.set(&w.dirty, blk)
+	}
+	return done
+}
+
+// Writeback implements hmm.MemSystem.
+func (c *Cache) Writeback(now uint64, a addr.Addr) {
+	c.cnt.Writebacks++
+	da := c.dramLocal(a)
+	page := uint64(da) / pageBytes
+	blk := (uint64(da) % pageBytes) / blockBytes
+	set := page % uint64(len(c.sets))
+	if wi := c.lookup(set, page); wi >= 0 && c.sets[set][wi].get(&c.sets[set][wi].present, blk) {
+		w := &c.sets[set][wi]
+		c.dev.HBM.Access(now, c.hbmAddr(set, wi, blk), blockBytes, true)
+		w.set(&w.dirty, blk)
+		return
+	}
+	c.dev.DRAM.Access(now, addr.Addr(page*pageBytes+blk*blockBytes), blockBytes, true)
+}

@@ -1,0 +1,246 @@
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/config"
+)
+
+// line is one cache line's bookkeeping.
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+}
+
+// Stats counts the events of a single cache level.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Writebacks uint64 // dirty evictions
+}
+
+// HitRate returns hits / (hits+misses), or 0 for an untouched cache.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Cache is one set-associative write-back, write-allocate cache level.
+type Cache struct {
+	name      string
+	sets      int
+	ways      int
+	lineBytes uint64
+	lineShift uint
+	policy    Policy
+	lines     [][]line // [set][way]
+	stats     Stats
+}
+
+// NewCache builds a cache level from its Table I description.
+func NewCache(cfg config.CacheLevel) (*Cache, error) {
+	if cfg.LineBytes == 0 || cfg.LineBytes&(cfg.LineBytes-1) != 0 {
+		return nil, fmt.Errorf("cache %s: line size %d not a power of two", cfg.Name, cfg.LineBytes)
+	}
+	linesTotal := cfg.SizeBytes / cfg.LineBytes
+	if uint64(cfg.Ways) > linesTotal || linesTotal%uint64(cfg.Ways) != 0 {
+		return nil, fmt.Errorf("cache %s: %d lines not divisible into %d ways", cfg.Name, linesTotal, cfg.Ways)
+	}
+	sets := int(linesTotal / uint64(cfg.Ways))
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cache %s: %d sets not a power of two", cfg.Name, sets)
+	}
+	c := &Cache{
+		name:      cfg.Name,
+		sets:      sets,
+		ways:      cfg.Ways,
+		lineBytes: cfg.LineBytes,
+		policy:    NewPolicy(cfg.Policy, sets, cfg.Ways),
+		lines:     make([][]line, sets),
+	}
+	for s := cfg.LineBytes; s > 1; s >>= 1 {
+		c.lineShift++
+	}
+	for i := range c.lines {
+		c.lines[i] = make([]line, cfg.Ways)
+	}
+	return c, nil
+}
+
+// Name returns the level name (L1D, L2, ...).
+func (c *Cache) Name() string { return c.name }
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+func (c *Cache) index(a addr.Addr) (set int, tag uint64) {
+	lineNo := uint64(a) >> c.lineShift
+	return int(lineNo % uint64(c.sets)), lineNo / uint64(c.sets)
+}
+
+// Eviction describes a line pushed out of a cache level.
+type Eviction struct {
+	Addr  addr.Addr // base address of the evicted line
+	Dirty bool
+}
+
+// Access looks up a in the cache. On a miss the line is allocated
+// (write-allocate) and the victim, if any, is returned. write marks the
+// line dirty.
+func (c *Cache) Access(a addr.Addr, write bool) (hit bool, ev Eviction, evicted bool) {
+	set, tag := c.index(a)
+	row := c.lines[set]
+	for w := range row {
+		if row[w].valid && row[w].tag == tag {
+			c.stats.Hits++
+			c.policy.OnHit(set, w)
+			if write {
+				row[w].dirty = true
+			}
+			return true, Eviction{}, false
+		}
+	}
+	c.stats.Misses++
+	// Find an invalid way first.
+	way := -1
+	for w := range row {
+		if !row[w].valid {
+			way = w
+			break
+		}
+	}
+	if way == -1 {
+		way = c.policy.Victim(set)
+		victim := row[way]
+		ev = Eviction{Addr: c.lineAddr(set, victim.tag), Dirty: victim.dirty}
+		evicted = true
+		if victim.dirty {
+			c.stats.Writebacks++
+		}
+	}
+	row[way] = line{tag: tag, valid: true, dirty: write}
+	c.policy.OnFill(set, way)
+	return false, ev, evicted
+}
+
+// Contains reports whether the line holding a is resident (no side
+// effects).
+func (c *Cache) Contains(a addr.Addr) bool {
+	set, tag := c.index(a)
+	for _, l := range c.lines[set] {
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Cache) lineAddr(set int, tag uint64) addr.Addr {
+	return addr.Addr((tag*uint64(c.sets) + uint64(set)) << c.lineShift)
+}
+
+// Hierarchy chains cache levels; Access walks L1 -> LLC and reports
+// whether the request missed the LLC along with any dirty line evicted
+// from the LLC (which must be written back to memory).
+type Hierarchy struct {
+	levels []*Cache
+	lats   []uint64
+	wbBuf  []addr.Addr
+
+	// Optional stride prefetcher (EnablePrefetch).
+	pf      *StridePrefetcher
+	pfLevel int
+	pfSink  func(addr.Addr)
+	pfBuf   []addr.Addr
+}
+
+// NewHierarchy builds the full hierarchy from Table I cache descriptions,
+// ordered innermost first.
+func NewHierarchy(levels []config.CacheLevel) (*Hierarchy, error) {
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("cache: empty hierarchy")
+	}
+	h := &Hierarchy{}
+	for _, cfg := range levels {
+		c, err := NewCache(cfg)
+		if err != nil {
+			return nil, err
+		}
+		h.levels = append(h.levels, c)
+		h.lats = append(h.lats, cfg.LatencyCyc)
+	}
+	return h, nil
+}
+
+// Result describes the outcome of one load/store through the hierarchy.
+type Result struct {
+	HitLevel   int    // 0-based level index, or -1 on LLC miss
+	HitLatency uint64 // hit latency in CPU cycles when HitLevel >= 0
+	// Writebacks are dirty lines evicted past the LLC that must be written
+	// to memory. The slice is reused by the next Access call.
+	Writebacks []addr.Addr
+}
+
+// Access sends a load/store through the hierarchy. Lower levels allocate
+// on miss (non-inclusive, write-back). Dirty evictions cascade: a dirty
+// line evicted from Li is written into Li+1; only LLC dirty evictions
+// escape to memory and are reported in Result.Writebacks.
+func (h *Hierarchy) Access(a addr.Addr, write bool) Result {
+	h.wbBuf = h.wbBuf[:0]
+	h.prefetch(a)
+	llc := len(h.levels) - 1
+	res := Result{HitLevel: -1}
+	for i, c := range h.levels {
+		hit, ev, evicted := c.Access(a, write)
+		// Cascade this level's dirty eviction into the next level.
+		if evicted && ev.Dirty {
+			if i == llc {
+				h.wbBuf = append(h.wbBuf, ev.Addr)
+			} else {
+				h.installDirty(i+1, ev.Addr)
+			}
+		}
+		if hit {
+			res.HitLevel = i
+			res.HitLatency = h.lats[i]
+			break
+		}
+	}
+	res.Writebacks = h.wbBuf
+	return res
+}
+
+// installDirty writes an evicted dirty line into level i, cascading
+// further dirty evictions outward; LLC dirty evictions are collected as
+// memory writebacks.
+func (h *Hierarchy) installDirty(i int, a addr.Addr) {
+	for ; i < len(h.levels); i++ {
+		_, ev, evicted := h.levels[i].Access(a, true)
+		if !evicted || !ev.Dirty {
+			return
+		}
+		a = ev.Addr
+	}
+	h.wbBuf = append(h.wbBuf, a)
+}
+
+// Levels returns the cache levels, innermost first.
+func (h *Hierarchy) Levels() []*Cache { return h.levels }
+
+// LLC returns the last-level cache.
+func (h *Hierarchy) LLC() *Cache { return h.levels[len(h.levels)-1] }
+
+// MissLatencyBase returns the cycles spent traversing all levels before a
+// request reaches memory (sum of hit latencies — the lookup path).
+func (h *Hierarchy) MissLatencyBase() uint64 {
+	var total uint64
+	for _, l := range h.lats {
+		total += l
+	}
+	return total
+}

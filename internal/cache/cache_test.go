@@ -1,0 +1,290 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/config"
+)
+
+func smallCache(t *testing.T, policy string) *Cache {
+	t.Helper()
+	c, err := NewCache(config.CacheLevel{
+		Name: "test", SizeBytes: 8 * 64, Ways: 2, LineBytes: 64,
+		Policy: policy, LatencyCyc: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewCacheRejectsBadGeometry(t *testing.T) {
+	cases := []config.CacheLevel{
+		{Name: "badline", SizeBytes: 1024, Ways: 2, LineBytes: 48},
+		{Name: "badways", SizeBytes: 192, Ways: 4, LineBytes: 64},
+		{Name: "badsets", SizeBytes: 3 * 64 * 2, Ways: 2, LineBytes: 64},
+	}
+	for _, cfg := range cases {
+		if _, err := NewCache(cfg); err == nil {
+			t.Errorf("NewCache(%q) accepted invalid geometry", cfg.Name)
+		}
+	}
+}
+
+func TestHitAfterFill(t *testing.T) {
+	c := smallCache(t, "LRU")
+	a := addr.Addr(0x1000)
+	if hit, _, _ := c.Access(a, false); hit {
+		t.Error("cold access hit")
+	}
+	if hit, _, _ := c.Access(a, false); !hit {
+		t.Error("second access missed")
+	}
+	if hit, _, _ := c.Access(a+63, false); !hit {
+		t.Error("same-line access missed")
+	}
+	if hit, _, _ := c.Access(a+64, false); hit {
+		t.Error("next-line access hit")
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 2 {
+		t.Errorf("stats = %+v, want 2 hits 2 misses", st)
+	}
+}
+
+func TestLRUEvictsOldest(t *testing.T) {
+	c := smallCache(t, "LRU") // 4 sets x 2 ways
+	// Three lines mapping to set 0: line numbers 0, 4, 8 (4 sets).
+	a0, a4, a8 := addr.Addr(0), addr.Addr(4*64), addr.Addr(8*64)
+	c.Access(a0, false)
+	c.Access(a4, false)
+	c.Access(a0, false) // a0 now MRU
+	_, ev, evicted := c.Access(a8, false)
+	if !evicted {
+		t.Fatal("full set did not evict")
+	}
+	if ev.Addr != a4 {
+		t.Errorf("evicted %#x, want %#x (LRU)", uint64(ev.Addr), uint64(a4))
+	}
+	if !c.Contains(a0) || c.Contains(a4) || !c.Contains(a8) {
+		t.Error("residency after eviction wrong")
+	}
+}
+
+func TestDirtyEvictionReported(t *testing.T) {
+	c := smallCache(t, "LRU")
+	a0, a4, a8 := addr.Addr(0), addr.Addr(4*64), addr.Addr(8*64)
+	c.Access(a0, true) // dirty
+	c.Access(a4, false)
+	c.Access(a8, false) // evicts a0 (LRU), dirty
+	st := c.Stats()
+	if st.Writebacks != 1 {
+		t.Errorf("writebacks = %d, want 1", st.Writebacks)
+	}
+}
+
+func TestSRRIPHitPromotion(t *testing.T) {
+	c := smallCache(t, "SRRIP")
+	a0, a4, a8 := addr.Addr(0), addr.Addr(4*64), addr.Addr(8*64)
+	c.Access(a0, false)
+	c.Access(a4, false)
+	c.Access(a0, false) // promote a0 to RRPV 0
+	_, ev, evicted := c.Access(a8, false)
+	if !evicted {
+		t.Fatal("no eviction from full set")
+	}
+	if ev.Addr != a4 {
+		t.Errorf("SRRIP evicted %#x, want non-promoted %#x", uint64(ev.Addr), uint64(a4))
+	}
+}
+
+func TestDRRIPBehavesAsCache(t *testing.T) {
+	c, err := NewCache(config.CacheLevel{
+		Name: "drrip", SizeBytes: 64 * addr.KiB, Ways: 8, LineBytes: 64,
+		Policy: "DRRIP", LatencyCyc: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A working set that fits must eventually hit ~100%.
+	for pass := 0; pass < 4; pass++ {
+		for i := 0; i < 256; i++ {
+			c.Access(addr.Addr(i*64), false)
+		}
+	}
+	st := c.Stats()
+	if st.Hits < 3*256 {
+		t.Errorf("DRRIP resident working set hits = %d, want >= %d", st.Hits, 3*256)
+	}
+}
+
+func TestPolicyVictimAlwaysInRange(t *testing.T) {
+	for _, name := range []string{"LRU", "SRRIP", "DRRIP"} {
+		p := NewPolicy(name, 16, 4)
+		for s := 0; s < 16; s++ {
+			for w := 0; w < 4; w++ {
+				p.OnFill(s, w)
+			}
+			for i := 0; i < 8; i++ {
+				v := p.Victim(s)
+				if v < 0 || v >= 4 {
+					t.Fatalf("%s victim %d out of range", name, v)
+				}
+				p.OnFill(s, v)
+				p.OnHit(s, (v+1)%4)
+			}
+		}
+	}
+}
+
+func newHier(t *testing.T) *Hierarchy {
+	t.Helper()
+	h, err := NewHierarchy(config.Default().Caches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestHierarchyMissThenHit(t *testing.T) {
+	h := newHier(t)
+	a := addr.Addr(0x12340)
+	r := h.Access(a, false)
+	if r.HitLevel != -1 {
+		t.Fatalf("cold access hit level %d", r.HitLevel)
+	}
+	r = h.Access(a, false)
+	if r.HitLevel != 0 {
+		t.Errorf("second access hit level %d, want 0 (L1)", r.HitLevel)
+	}
+	if r.HitLatency != 4 {
+		t.Errorf("L1 hit latency %d, want 4", r.HitLatency)
+	}
+}
+
+func TestHierarchyL2Hit(t *testing.T) {
+	h := newHier(t)
+	base := addr.Addr(0)
+	// Fill L1 (64KB, 1024 lines) far beyond capacity with a 128KB sweep;
+	// early lines fall out of L1 but stay in L2 (256KB).
+	for i := 0; i < 2048; i++ {
+		h.Access(base+addr.Addr(i*64), false)
+	}
+	r := h.Access(base, false)
+	if r.HitLevel != 1 && r.HitLevel != 2 {
+		t.Errorf("swept-out line hit level %d, want L2 or L3", r.HitLevel)
+	}
+}
+
+func TestHierarchyWritebackEscapes(t *testing.T) {
+	h := newHier(t)
+	// Dirty a large region far beyond LLC capacity (8MB): 16MB of lines.
+	lines := uint64(16*addr.MiB) / 64
+	wbs := 0
+	for i := uint64(0); i < lines; i++ {
+		r := h.Access(addr.Addr(i*64), true)
+		wbs += len(r.Writebacks)
+	}
+	if wbs == 0 {
+		t.Error("no writebacks escaped the LLC after dirtying 2x LLC capacity")
+	}
+}
+
+func TestHierarchyMissLatencyBase(t *testing.T) {
+	h := newHier(t)
+	if got, want := h.MissLatencyBase(), uint64(4+12+38); got != want {
+		t.Errorf("MissLatencyBase = %d, want %d", got, want)
+	}
+}
+
+func TestHierarchyLLCFilter(t *testing.T) {
+	// A tiny working set must produce no LLC misses after warmup.
+	h := newHier(t)
+	for pass := 0; pass < 3; pass++ {
+		for i := 0; i < 64; i++ {
+			h.Access(addr.Addr(i*64), false)
+		}
+	}
+	miss0 := h.LLC().Stats().Misses
+	for i := 0; i < 64; i++ {
+		h.Access(addr.Addr(i*64), false)
+	}
+	if got := h.LLC().Stats().Misses; got != miss0 {
+		t.Errorf("LLC misses grew from %d to %d on resident set", miss0, got)
+	}
+}
+
+func TestStridePrefetcherDetectsStride(t *testing.T) {
+	p := NewStridePrefetcher(64, 2)
+	var buf []addr.Addr
+	// Sequential 64 B stream within one 4 KB region: stride confirmed on
+	// the third access, prefetches from the fourth observation onward.
+	got := 0
+	for i := 0; i < 8; i++ {
+		buf = p.Observe(addr.Addr(i*64), buf)
+		got += len(buf)
+	}
+	if got == 0 {
+		t.Fatal("sequential stream produced no prefetches")
+	}
+	if p.Issued == 0 {
+		t.Error("issued counter not updated")
+	}
+	// Candidates continue the stride.
+	buf = p.Observe(addr.Addr(8*64), buf)
+	if len(buf) != 2 || buf[0] != addr.Addr(9*64) || buf[1] != addr.Addr(10*64) {
+		t.Errorf("candidates = %v", buf)
+	}
+}
+
+func TestStridePrefetcherIgnoresRandom(t *testing.T) {
+	p := NewStridePrefetcher(64, 2)
+	var buf []addr.Addr
+	addrs := []uint64{0, 7, 3, 29, 11, 23, 5, 31}
+	issued := 0
+	for _, a := range addrs {
+		buf = p.Observe(addr.Addr(a*64), buf)
+		issued += len(buf)
+	}
+	if issued > 2 {
+		t.Errorf("random stream issued %d prefetches", issued)
+	}
+}
+
+func TestHierarchyPrefetchReducesMisses(t *testing.T) {
+	mk := func(pf bool) uint64 {
+		h, err := NewHierarchy(config.Default().Caches)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pf {
+			h.EnablePrefetch(1, NewStridePrefetcher(256, 4), nil)
+		}
+		// A long sequential stream beyond every cache.
+		for i := 0; i < 300000; i++ {
+			h.Access(addr.Addr(i*64), false)
+		}
+		return h.LLC().Stats().Misses
+	}
+	without := mk(false)
+	with := mk(true)
+	if with >= without {
+		t.Errorf("prefetching did not reduce LLC misses: %d vs %d", with, without)
+	}
+}
+
+func TestPrefetchSinkCalled(t *testing.T) {
+	h, err := NewHierarchy(config.Default().Caches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sunk int
+	h.EnablePrefetch(1, NewStridePrefetcher(64, 2), func(addr.Addr) { sunk++ })
+	for i := 0; i < 64; i++ {
+		h.Access(addr.Addr(i*64), false)
+	}
+	if sunk == 0 {
+		t.Error("sink never called for prefetch fills")
+	}
+}

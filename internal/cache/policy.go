@@ -1,0 +1,201 @@
+// Package cache implements the on-chip SRAM cache hierarchy of Table I:
+// set-associative write-back caches with LRU, SRRIP and DRRIP replacement,
+// composed into an L1/L2/L3 hierarchy that turns a core's load/store stream
+// into the LLC-miss stream consumed by the hybrid memory system.
+package cache
+
+// Policy is a per-cache replacement policy. Implementations keep all
+// per-set state internally, indexed by (set, way).
+type Policy interface {
+	// OnHit is called when way in set is hit.
+	OnHit(set, way int)
+	// OnFill is called when a new line is installed in way of set.
+	OnFill(set, way int)
+	// Victim selects the way to evict from set. Every way is valid.
+	Victim(set int) int
+}
+
+// --- LRU ---
+
+type lru struct {
+	// stamp[set][way] is a per-set logical clock value; the smallest stamp
+	// is the least recently used way.
+	stamp [][]uint64
+	clock []uint64
+}
+
+// NewLRU returns a least-recently-used policy for sets x ways lines.
+func NewLRU(sets, ways int) Policy {
+	p := &lru{stamp: make([][]uint64, sets), clock: make([]uint64, sets)}
+	for i := range p.stamp {
+		p.stamp[i] = make([]uint64, ways)
+	}
+	return p
+}
+
+func (p *lru) touch(set, way int) {
+	p.clock[set]++
+	p.stamp[set][way] = p.clock[set]
+}
+
+func (p *lru) OnHit(set, way int)  { p.touch(set, way) }
+func (p *lru) OnFill(set, way int) { p.touch(set, way) }
+
+func (p *lru) Victim(set int) int {
+	ways := p.stamp[set]
+	victim, min := 0, ways[0]
+	for w := 1; w < len(ways); w++ {
+		if ways[w] < min {
+			victim, min = w, ways[w]
+		}
+	}
+	return victim
+}
+
+// --- SRRIP ---
+
+// rrpvMax is the 2-bit re-reference prediction value ceiling.
+const rrpvMax = 3
+
+type srrip struct {
+	rrpv [][]uint8
+	// brip: fill distantly most of the time (bimodal), used by DRRIP.
+	brip  bool
+	fills uint64 // bimodal counter for BRRIP fills
+}
+
+// NewSRRIP returns a static re-reference interval prediction policy
+// (Jaleel et al., ISCA'10) with 2-bit RRPVs.
+func NewSRRIP(sets, ways int) Policy { return newRRIP(sets, ways, false) }
+
+func newRRIP(sets, ways int, brip bool) *srrip {
+	p := &srrip{rrpv: make([][]uint8, sets), brip: brip}
+	for i := range p.rrpv {
+		p.rrpv[i] = make([]uint8, ways)
+		for w := range p.rrpv[i] {
+			p.rrpv[i][w] = rrpvMax
+		}
+	}
+	return p
+}
+
+func (p *srrip) OnHit(set, way int) { p.rrpv[set][way] = 0 }
+
+func (p *srrip) OnFill(set, way int) {
+	if p.brip {
+		// BRRIP: mostly distant (rrpvMax), occasionally long (rrpvMax-1).
+		p.fills++
+		if p.fills%32 == 0 {
+			p.rrpv[set][way] = rrpvMax - 1
+		} else {
+			p.rrpv[set][way] = rrpvMax
+		}
+		return
+	}
+	p.rrpv[set][way] = rrpvMax - 1 // long re-reference interval
+}
+
+func (p *srrip) Victim(set int) int {
+	row := p.rrpv[set]
+	for {
+		for w, v := range row {
+			if v == rrpvMax {
+				return w
+			}
+		}
+		for w := range row {
+			row[w]++
+		}
+	}
+}
+
+// --- DRRIP ---
+
+type drrip struct {
+	sr, br *srrip
+	// Set dueling: a few leader sets are dedicated to each component
+	// policy; PSEL picks the winner for follower sets.
+	psel     int
+	duelMask int
+}
+
+// NewDRRIP returns a dynamic RRIP policy using set dueling between SRRIP
+// and BRRIP.
+func NewDRRIP(sets, ways int) Policy {
+	return &drrip{
+		sr:       newRRIP(sets, ways, false),
+		br:       newRRIP(sets, ways, true),
+		duelMask: 31,
+	}
+}
+
+// leader returns +1 for SRRIP leader sets, -1 for BRRIP leaders, 0 for
+// follower sets.
+func (p *drrip) leader(set int) int {
+	switch set & p.duelMask {
+	case 0:
+		return 1
+	case 1:
+		return -1
+	}
+	return 0
+}
+
+func (p *drrip) OnHit(set, way int) {
+	p.sr.OnHit(set, way)
+	p.br.OnHit(set, way)
+}
+
+func (p *drrip) OnFill(set, way int) {
+	// A fill means the previous access to this set missed; leaders vote.
+	switch p.leader(set) {
+	case 1:
+		if p.psel < 512 {
+			p.psel++ // SRRIP leader missed: penalize SRRIP
+		}
+	case -1:
+		if p.psel > -512 {
+			p.psel--
+		}
+	}
+	if p.useSRRIP(set) {
+		p.sr.OnFill(set, way)
+		p.br.rrpv[set][way] = p.sr.rrpv[set][way]
+	} else {
+		p.br.OnFill(set, way)
+		p.sr.rrpv[set][way] = p.br.rrpv[set][way]
+	}
+}
+
+func (p *drrip) useSRRIP(set int) bool {
+	switch p.leader(set) {
+	case 1:
+		return true
+	case -1:
+		return false
+	}
+	return p.psel <= 0
+}
+
+func (p *drrip) Victim(set int) int {
+	if p.useSRRIP(set) {
+		v := p.sr.Victim(set)
+		copy(p.br.rrpv[set], p.sr.rrpv[set])
+		return v
+	}
+	v := p.br.Victim(set)
+	copy(p.sr.rrpv[set], p.br.rrpv[set])
+	return v
+}
+
+// NewPolicy builds a policy by Table I name.
+func NewPolicy(name string, sets, ways int) Policy {
+	switch name {
+	case "SRRIP":
+		return NewSRRIP(sets, ways)
+	case "DRRIP":
+		return NewDRRIP(sets, ways)
+	default:
+		return NewLRU(sets, ways)
+	}
+}

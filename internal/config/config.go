@@ -1,0 +1,249 @@
+// Package config holds the system configuration from the paper's Table I —
+// core, cache hierarchy, HBM2 and DDR4 device parameters — plus per-design
+// knobs. Everything is expressed in plain physical units (MHz, ns, mA, V);
+// the timing models convert to CPU cycles.
+package config
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+)
+
+// Core describes the processor core model (Table I: ARM A72, 3600 MHz).
+type Core struct {
+	FreqMHz uint64  // core clock
+	CPIBase float64 // cycles per instruction with an ideal memory system
+	MLP     int     // max overlapping LLC misses (interval model window)
+}
+
+// CycleNS returns the duration of one core cycle in nanoseconds.
+func (c Core) CycleNS() float64 { return 1e3 / float64(c.FreqMHz) }
+
+// CacheLevel describes one SRAM cache level.
+type CacheLevel struct {
+	Name       string
+	SizeBytes  uint64
+	Ways       int
+	LineBytes  uint64
+	Policy     string // "LRU", "SRRIP", "DRRIP"
+	LatencyCyc uint64 // hit latency in core cycles
+}
+
+// DRAMTiming captures the first-order timing of one DRAM-like device
+// (Table I gives tCAS-tRCD-tRP in device clocks; refresh and turnaround
+// use standard values for the densities involved).
+type DRAMTiming struct {
+	ClockMHz uint64 // device command/data clock (data rate = 2x for DDR)
+	TCAS     uint64 // column access strobe latency, device clocks
+	TRCD     uint64 // row-to-column delay
+	TRP      uint64 // row precharge
+	TREFI    uint64 // average refresh interval, device clocks (0 = no refresh)
+	TRFC     uint64 // refresh cycle time, device clocks
+	TWTR     uint64 // write-to-read turnaround, device clocks
+}
+
+// DRAMPower holds Micron-style IDD currents (mA) and supply voltage used by
+// the dynamic-energy model. Names follow Table I.
+type DRAMPower struct {
+	VDD   float64 // volts
+	IDD0  float64 // activate-precharge current
+	IDD2P float64 // precharge power-down
+	IDD2N float64 // precharge standby
+	IDD3P float64 // active power-down
+	IDD3N float64 // active standby
+	IDD4W float64 // write burst
+	IDD4R float64 // read burst
+	IDD5  float64 // refresh
+	IDD6  float64 // self refresh
+}
+
+// DRAMDevice describes one memory device: geometry, timing and power.
+type DRAMDevice struct {
+	Name          string
+	CapacityBytes uint64
+	Channels      int
+	ChannelBits   int    // data bus width per channel
+	Banks         int    // banks per channel
+	RowBytes      uint64 // row-buffer (page) size per bank
+	InterleaveB   uint64 // channel interleave granularity
+	Timing        DRAMTiming
+	Power         DRAMPower
+}
+
+// PeakBandwidthGBs returns the aggregate peak bandwidth in GB/s assuming a
+// double data rate bus.
+func (d DRAMDevice) PeakBandwidthGBs() float64 {
+	bytesPerClock := float64(d.Channels) * float64(d.ChannelBits) / 8 * 2
+	return bytesPerClock * float64(d.Timing.ClockMHz) * 1e6 / 1e9
+}
+
+// Design identifies a hybrid memory design under test.
+type Design string
+
+// The designs evaluated in the paper (Figures 7 and 8).
+const (
+	DesignBumblebee Design = "bumblebee"
+	DesignHybrid2   Design = "hybrid2"
+	DesignChameleon Design = "chameleon"
+	DesignBanshee   Design = "banshee"
+	DesignAlloy     Design = "alloy"
+	DesignUnison    Design = "unison"
+	DesignCacheOnly Design = "c-only"
+	DesignPOMOnly   Design = "m-only"
+	DesignNoHBM     Design = "no-hbm"
+)
+
+// BumblebeeOptions are the ablation switches used for Figure 7.
+type BumblebeeOptions struct {
+	FixedRatio      bool    // pin the cHBM share at FixedCacheRatio (C-Only/25%-C/50%-C/M-Only)
+	FixedCacheRatio float64 // cHBM share of HBM when FixedRatio is set (0=M-Only, 1=C-Only)
+	NoMultiplex     bool    // separate cHBM/mHBM spaces (No-Multi)
+	MetadataInHBM   bool    // metadata stored in HBM, not SRAM (Meta-H)
+	AllocAllDRAM    bool    // allocate every page in off-chip DRAM (Alloc-D)
+	AllocAllHBM     bool    // allocate every page in HBM first (Alloc-H)
+	NoHMF           bool    // disable high-memory-footprint movement (No-HMF)
+	HotQueueDepth   int     // recently-accessed off-chip pages tracked per set
+	ZombieWindow    uint64  // accesses after which an unchanged head page is a zombie
+}
+
+// System is a complete simulated machine.
+type System struct {
+	Core   Core
+	Caches []CacheLevel // ordered L1 .. LLC
+	HBM    DRAMDevice
+	DRAM   DRAMDevice
+
+	PageBytes   uint64  // migration granularity
+	BlockBytes  uint64  // caching granularity
+	HBMWays     uint64  // HBM pages per remapping set
+	SRAMMetaNS  float64 // metadata lookup latency when held in SRAM
+	MoveBatch   int     // remapping sets flushed together by HMF(5)
+	PageFaultNS float64 // OS swap-in penalty for pages beyond OS-visible memory
+
+	Bumblebee BumblebeeOptions
+}
+
+// Default returns the paper's Table I configuration with Bumblebee's best
+// design point (2 KB blocks, 64 KB pages, 8-way sets).
+func Default() System {
+	return System{
+		Core: Core{FreqMHz: 3600, CPIBase: 0.6, MLP: 8},
+		Caches: []CacheLevel{
+			{Name: "L1D", SizeBytes: 64 * addr.KiB, Ways: 4, LineBytes: 64, Policy: "LRU", LatencyCyc: 4},
+			{Name: "L2", SizeBytes: 256 * addr.KiB, Ways: 8, LineBytes: 64, Policy: "SRRIP", LatencyCyc: 12},
+			{Name: "L3", SizeBytes: 8 * addr.MiB, Ways: 16, LineBytes: 64, Policy: "DRRIP", LatencyCyc: 38},
+		},
+		HBM: DRAMDevice{
+			Name:          "HBM2",
+			CapacityBytes: 1 * addr.GiB,
+			Channels:      8,
+			ChannelBits:   128,
+			Banks:         8,
+			RowBytes:      2 * addr.KiB,
+			InterleaveB:   512,
+			Timing:        DRAMTiming{ClockMHz: 1000, TCAS: 7, TRCD: 7, TRP: 7, TREFI: 3900, TRFC: 260, TWTR: 4},
+			Power: DRAMPower{
+				VDD: 1.2, IDD0: 65,
+				IDD2P: 28, IDD2N: 40,
+				IDD3P: 40, IDD3N: 55,
+				IDD4W: 500, IDD4R: 390,
+				IDD5: 250, IDD6: 31,
+			},
+		},
+		DRAM: DRAMDevice{
+			Name:          "DDR4-3200",
+			CapacityBytes: 10 * addr.GiB,
+			Channels:      2,
+			ChannelBits:   64,
+			Banks:         8,
+			RowBytes:      8 * addr.KiB,
+			InterleaveB:   4 * addr.KiB,
+			Timing:        DRAMTiming{ClockMHz: 1600, TCAS: 22, TRCD: 22, TRP: 22, TREFI: 12480, TRFC: 560, TWTR: 12},
+			Power: DRAMPower{
+				VDD: 1.2, IDD0: 52,
+				IDD2P: 25, IDD2N: 37,
+				IDD3P: 38, IDD3N: 47,
+				IDD4W: 130, IDD4R: 143,
+				IDD5: 250, IDD6: 30,
+			},
+		},
+		PageBytes:   64 * addr.KiB,
+		BlockBytes:  2 * addr.KiB,
+		HBMWays:     8,
+		SRAMMetaNS:  1.0,
+		MoveBatch:   4,
+		PageFaultNS: 2000,
+		Bumblebee: BumblebeeOptions{
+			HotQueueDepth: 8,
+			ZombieWindow:  4096,
+		},
+	}
+}
+
+// Validate checks internal consistency of the configuration.
+func (s System) Validate() error {
+	if s.Core.FreqMHz == 0 {
+		return fmt.Errorf("config: core frequency must be positive")
+	}
+	if s.Core.CPIBase <= 0 {
+		return fmt.Errorf("config: CPI base must be positive")
+	}
+	if s.Core.MLP <= 0 {
+		return fmt.Errorf("config: MLP must be positive")
+	}
+	if len(s.Caches) == 0 {
+		return fmt.Errorf("config: at least one cache level required")
+	}
+	for _, c := range s.Caches {
+		if c.SizeBytes == 0 || c.Ways <= 0 || c.LineBytes == 0 {
+			return fmt.Errorf("config: cache %q has zero size, ways, or line", c.Name)
+		}
+		if c.SizeBytes%(uint64(c.Ways)*c.LineBytes) != 0 {
+			return fmt.Errorf("config: cache %q size not divisible by ways*line", c.Name)
+		}
+		switch c.Policy {
+		case "LRU", "SRRIP", "DRRIP":
+		default:
+			return fmt.Errorf("config: cache %q has unknown policy %q", c.Name, c.Policy)
+		}
+	}
+	for _, d := range []DRAMDevice{s.HBM, s.DRAM} {
+		if d.CapacityBytes == 0 || d.Channels <= 0 || d.Banks <= 0 {
+			return fmt.Errorf("config: device %q has zero capacity, channels, or banks", d.Name)
+		}
+		if d.Timing.ClockMHz == 0 {
+			return fmt.Errorf("config: device %q has zero clock", d.Name)
+		}
+		if d.InterleaveB == 0 || d.RowBytes == 0 {
+			return fmt.Errorf("config: device %q has zero interleave or row size", d.Name)
+		}
+	}
+	if _, err := addr.NewGeometry(s.PageBytes, s.BlockBytes, s.DRAM.CapacityBytes, s.HBM.CapacityBytes, s.HBMWays); err != nil {
+		return fmt.Errorf("config: %v", err)
+	}
+	if s.Bumblebee.FixedCacheRatio < 0 || s.Bumblebee.FixedCacheRatio > 1 {
+		return fmt.Errorf("config: fixed cache ratio %f out of [0,1]", s.Bumblebee.FixedCacheRatio)
+	}
+	if s.Bumblebee.AllocAllDRAM && s.Bumblebee.AllocAllHBM {
+		return fmt.Errorf("config: Alloc-D and Alloc-H are mutually exclusive")
+	}
+	return nil
+}
+
+// Geometry builds the address geometry for this system.
+func (s System) Geometry() (*addr.Geometry, error) {
+	return addr.NewGeometry(s.PageBytes, s.BlockBytes, s.DRAM.CapacityBytes, s.HBM.CapacityBytes, s.HBMWays)
+}
+
+// Scaled returns a copy of the system with both memory capacities divided
+// by factor. Simulations in tests and benches use scaled-down memories so
+// that footprints stress the hierarchy in reasonable wall time; the
+// DRAM:HBM ratio, timings and energies are unchanged so normalized results
+// keep their shape.
+func (s System) Scaled(factor uint64) System {
+	out := s
+	out.HBM.CapacityBytes = s.HBM.CapacityBytes / factor
+	out.DRAM.CapacityBytes = s.DRAM.CapacityBytes / factor
+	return out
+}

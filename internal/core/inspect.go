@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// DumpSet writes a human-readable snapshot of one remapping set: the BLE
+// array (mode, resident page, valid/dirty density, shadow), the hot-table
+// queues, and the derived parameters (Rh, T, Nc, Na, Nn, SL). This is
+// the debugging view of everything Figure 3 draws.
+func (b *Bumblebee) DumpSet(w io.Writer, setIdx uint64) error {
+	if setIdx >= uint64(len(b.sets)) {
+		return fmt.Errorf("core: set %d out of range [0,%d)", setIdx, len(b.sets))
+	}
+	s := b.sets[setIdx]
+	nc, na, nn := s.localityCounts(b.halfBlocks)
+	fmt.Fprintf(w, "set %d: Rh=%d/%d T=%d Nc=%d Na=%d Nn=%d SL=%d cHBMOff=%v\n",
+		setIdx, s.occupiedHBM(b.m), b.n, s.hot.hbm.minCount(), nc, na, nn, na-nn-nc, s.cHBMOff)
+	for w2 := range s.bles {
+		e := &s.bles[w2]
+		mode := "free  "
+		switch e.mode {
+		case bleCached:
+			mode = "cached"
+		case bleMHBM:
+			mode = "mHBM  "
+		}
+		fmt.Fprintf(w, "  way %d: %s orig=%-4d valid=%2d/%d dirty=%2d shadow=%d occup=%d\n",
+			w2, mode, e.orig, e.valid.popcount(), b.blocksPerPage,
+			e.dirty.popcount(), e.shadow, s.occupant[b.m+w2])
+	}
+	fmt.Fprintf(w, "  hot HBM : %s\n", dumpQueue(&s.hot.hbm))
+	fmt.Fprintf(w, "  hot DRAM: %s\n", dumpQueue(&s.hot.dram))
+	return nil
+}
+
+func dumpQueue(q *hotQueue) string {
+	if q.len() == 0 {
+		return "(empty)"
+	}
+	parts := make([]string, 0, q.len())
+	for _, e := range q.entries {
+		parts = append(parts, fmt.Sprintf("%d:%d", e.orig, e.count))
+	}
+	return strings.Join(parts, " ") + "  (LRU..MRU, orig:count)"
+}
+
+// Summary writes a one-screen overview of the controller's state: frame
+// mode distribution, shadow count, movement counters.
+func (b *Bumblebee) Summary(w io.Writer) {
+	cached, mhbm, free := b.FrameModes()
+	shadows := 0
+	flushed := 0
+	for _, s := range b.sets {
+		if s.cHBMOff {
+			flushed++
+		}
+		for w2 := range s.bles {
+			if s.bles[w2].shadow >= 0 {
+				shadows++
+			}
+		}
+	}
+	c := b.Counters()
+	fmt.Fprintf(w, "frames: %d cHBM, %d mHBM, %d free (%d shadow copies, %d sets flushed)\n",
+		cached, mhbm, free, shadows, flushed)
+	fmt.Fprintf(w, "moves: %d fills, %d migrations, %d switches, %d swaps, %d evictions\n",
+		c.BlockFills, c.PageMigrations, c.ModeSwitches, c.PageSwaps, c.Evictions)
+	fmt.Fprintf(w, "mover: %d started, %d skipped (budget)\n", b.mover.Started, b.mover.Skipped)
+}

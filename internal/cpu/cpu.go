@@ -1,0 +1,168 @@
+// Package cpu implements the interval-style core model that replaces the
+// paper's gem5 ARM A72: instructions retire at a base CPI, loads and
+// stores walk the SRAM cache hierarchy, and LLC misses go to the hybrid
+// memory system with a bounded number of overlapping misses (MLP). The
+// model's purpose is relative IPC between memory designs, which is driven
+// by average miss latency and bandwidth contention — exactly what the
+// interval abstraction captures.
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/trace"
+)
+
+// Memory is the LLC-miss side of a hybrid memory design (a subset of
+// hmm.MemSystem, kept local so cpu does not import hmm).
+type Memory interface {
+	Access(now uint64, a addr.Addr, write bool) uint64
+	Writeback(now uint64, a addr.Addr)
+}
+
+// Result summarizes one simulation run.
+type Result struct {
+	Instructions uint64
+	Cycles       uint64
+	Accesses     uint64 // loads+stores issued
+	LLCMisses    uint64
+	Writebacks   uint64
+
+	TotalMissLatency uint64 // sum of individual LLC miss latencies
+}
+
+// IPC returns instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// MPKI returns LLC misses per kilo-instruction.
+func (r Result) MPKI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.LLCMisses) / float64(r.Instructions) * 1000
+}
+
+// AvgMissLatency returns the mean LLC miss latency in cycles.
+func (r Result) AvgMissLatency() float64 {
+	if r.LLCMisses == 0 {
+		return 0
+	}
+	return float64(r.TotalMissLatency) / float64(r.LLCMisses)
+}
+
+// RunOption customizes Run.
+type RunOption func(*runCfg)
+
+type runCfg struct {
+	pfEntries, pfDegree int
+}
+
+// WithPrefetch attaches a stride prefetcher beside the L2 (hierarchy
+// level 1): confirmed-stride lines are installed ahead of the demand
+// stream, and their fills are charged to the memory system at issue time
+// without stalling the core.
+func WithPrefetch(entries, degree int) RunOption {
+	return func(c *runCfg) { c.pfEntries, c.pfDegree = entries, degree }
+}
+
+// Run drives the access stream through the hierarchy and memory system
+// until the stream ends. The hierarchy and memory retain their state, so
+// callers can warm up with one stream and measure with another.
+func Run(core config.Core, hier *cache.Hierarchy, mem Memory, st trace.Stream, opts ...RunOption) (Result, error) {
+	if core.MLP <= 0 || core.CPIBase <= 0 {
+		return Result{}, fmt.Errorf("cpu: invalid core config %+v", core)
+	}
+	var cfg runCfg
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var pfPending []addr.Addr
+	if cfg.pfEntries > 0 {
+		level := 1
+		if n := len(hier.Levels()); n < 2 {
+			level = 0
+		}
+		hier.EnablePrefetch(level, cache.NewStridePrefetcher(cfg.pfEntries, cfg.pfDegree),
+			func(a addr.Addr) { pfPending = append(pfPending, a) })
+	}
+	var res Result
+	time := 0.0 // CPU cycles; float to accumulate fractional CPI exactly
+	missBase := float64(hier.MissLatencyBase())
+
+	// Outstanding miss completion times (bounded by MLP).
+	outstanding := make([]float64, 0, core.MLP)
+
+	for {
+		acc, ok := st.Next()
+		if !ok {
+			break
+		}
+		res.Accesses++
+		res.Instructions += uint64(acc.Gap)
+		time += float64(acc.Gap) * core.CPIBase
+
+		r := hier.Access(acc.Addr, acc.Write)
+		// Prefetch fills fetch from memory without stalling the core.
+		for _, pa := range pfPending {
+			mem.Access(uint64(time), pa, false)
+		}
+		pfPending = pfPending[:0]
+		for _, wb := range r.Writebacks {
+			res.Writebacks++
+			mem.Writeback(uint64(time), wb)
+		}
+		if r.HitLevel > 0 {
+			// Inner-cache hits beyond L1 stall for a fraction of their
+			// latency; out-of-order execution hides the rest.
+			time += float64(r.HitLatency) / float64(core.MLP)
+			continue
+		}
+		if r.HitLevel == 0 {
+			continue // L1 hits are covered by CPIBase
+		}
+
+		// LLC miss. If the MLP window is full, the core stalls until the
+		// oldest outstanding miss returns.
+		if len(outstanding) >= core.MLP {
+			min, idx := outstanding[0], 0
+			for i, c := range outstanding {
+				if c < min {
+					min, idx = c, i
+				}
+			}
+			if min > time {
+				time = min
+			}
+			outstanding[idx] = outstanding[len(outstanding)-1]
+			outstanding = outstanding[:len(outstanding)-1]
+		}
+		issue := time + missBase
+		done := float64(mem.Access(uint64(issue), acc.Addr, acc.Write))
+		if done < issue {
+			done = issue
+		}
+		res.LLCMisses++
+		res.TotalMissLatency += uint64(done - time)
+		outstanding = append(outstanding, done)
+	}
+
+	// Drain: the run ends when the last miss returns.
+	for _, c := range outstanding {
+		if c > time {
+			time = c
+		}
+	}
+	res.Cycles = uint64(time)
+	if res.Cycles == 0 {
+		res.Cycles = 1
+	}
+	return res, nil
+}

@@ -1,0 +1,147 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/config"
+	"repro/internal/trace"
+)
+
+func privateLevels() []config.CacheLevel {
+	sys := config.Default()
+	return sys.Caches[:2] // L1, L2
+}
+
+func sharedLLC(t *testing.T) *SharedLLC {
+	t.Helper()
+	sys := config.Default()
+	llc, err := NewSharedLLC(sys.Caches[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return llc
+}
+
+func mkThread(t *testing.T, p trace.Profile, n uint64) *Thread {
+	t.Helper()
+	g, err := trace.NewSynthetic(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := NewThread(privateLevels(), &trace.Limit{S: g, N: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return th
+}
+
+func TestRunMultiValidation(t *testing.T) {
+	mem := &fixedMem{lat: 100}
+	if _, err := RunMulti(config.Core{MLP: 0, CPIBase: 1}, []*Thread{mkThread(t, cacheFit, 10)}, sharedLLC(t), mem); err == nil {
+		t.Error("invalid core accepted")
+	}
+	if _, err := RunMulti(config.Default().Core, nil, sharedLLC(t), mem); err == nil {
+		t.Error("no threads accepted")
+	}
+	if _, err := RunMulti(config.Default().Core, []*Thread{mkThread(t, cacheFit, 10)}, nil, mem); err == nil {
+		t.Error("nil LLC accepted")
+	}
+}
+
+func TestRunMultiMatchesWorkload(t *testing.T) {
+	mem := &fixedMem{lat: 300}
+	threads := []*Thread{
+		mkThread(t, memHeavy, 50000),
+		mkThread(t, cacheFit, 50000),
+	}
+	res, err := RunMulti(config.Default().Core, threads, sharedLLC(t), mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("results = %d", len(res))
+	}
+	for i, r := range res {
+		if r.Accesses != 50000 {
+			t.Errorf("thread %d accesses = %d", i, r.Accesses)
+		}
+		if r.IPC() <= 0 {
+			t.Errorf("thread %d IPC = %f", i, r.IPC())
+		}
+	}
+	// The memory-heavy thread must miss the LLC far more often.
+	if res[0].LLCMisses < res[1].LLCMisses*2 {
+		t.Errorf("memHeavy misses %d not above cacheFit %d", res[0].LLCMisses, res[1].LLCMisses)
+	}
+}
+
+func TestSharedLLCContention(t *testing.T) {
+	// Two threads with disjoint hot sets that together exceed the LLC
+	// must see more misses than either alone.
+	// Each hot set (~4.5 MB) fits the 8 MB LLC alone but not together.
+	mkP := func(name string, base uint64) trace.Profile {
+		return trace.Profile{Name: name, FootprintBytes: 5 * addr.MiB, AvgGap: 4,
+			RunMean: 4, HotFraction: 0.9, HotProbability: 0.95, WriteFraction: 0.2, Seed: base}
+	}
+	mem := &fixedMem{lat: 300}
+	solo, err := RunMulti(config.Default().Core,
+		[]*Thread{mkThread(t, mkP("a", 1), 400000)}, sharedLLC(t), mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Give the second thread its own address space; otherwise the two
+	// threads share data and warm the LLC for each other.
+	gb, err := trace.NewSynthetic(mkP("b", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	thB, err := NewThread(privateLevels(), &trace.Offset{
+		S: &trace.Limit{S: gb, N: 400000}, Delta: 64 * addr.MiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem2 := &fixedMem{lat: 300}
+	duo, err := RunMulti(config.Default().Core,
+		[]*Thread{mkThread(t, mkP("a", 1), 400000), thB},
+		sharedLLC(t), mem2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soloRate := float64(solo[0].LLCMisses) / float64(solo[0].Accesses)
+	duoRate := float64(duo[0].LLCMisses) / float64(duo[0].Accesses)
+	if duoRate < soloRate {
+		t.Errorf("shared-LLC contention absent: solo miss rate %f, duo %f", soloRate, duoRate)
+	}
+}
+
+func TestMultiWritebacksReachMemory(t *testing.T) {
+	mem := &fixedMem{lat: 100}
+	p := trace.Profile{Name: "dirty", FootprintBytes: 64 * addr.MiB, AvgGap: 2,
+		RunMean: 4, HotFraction: 0.5, HotProbability: 0.1, WriteFraction: 1}
+	_, err := RunMulti(config.Default().Core,
+		[]*Thread{mkThread(t, p, 200000)}, sharedLLC(t), mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem.writebacks == 0 {
+		t.Error("no writebacks reached memory")
+	}
+}
+
+func TestGlobalTimeInterleaving(t *testing.T) {
+	// A fast (cache-resident) and a slow (memory-bound) thread: both
+	// finish, and the slow one's cycle count exceeds the fast one's.
+	mem := &fixedMem{lat: 2000}
+	threads := []*Thread{
+		mkThread(t, cacheFit, 30000),
+		mkThread(t, memHeavy, 30000),
+	}
+	res, err := RunMulti(config.Default().Core, threads, sharedLLC(t), mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[1].Cycles <= res[0].Cycles {
+		t.Errorf("memory-bound thread cycles %d <= cache-resident %d", res[1].Cycles, res[0].Cycles)
+	}
+}

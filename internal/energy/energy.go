@@ -1,0 +1,78 @@
+// Package energy aggregates the dynamic-energy counters of the memory
+// devices into the per-design totals reported in the paper's Figure 8(d).
+// The per-operation energies themselves are computed inside internal/dram
+// from the Table I IDD currents; this package only composes and formats
+// them.
+package energy
+
+import "repro/internal/dram"
+
+// Breakdown is the dynamic energy of one simulation run, split by device
+// and operation class, in picojoules.
+type Breakdown struct {
+	HBMActivatePJ  float64
+	HBMReadPJ      float64
+	HBMWritePJ     float64
+	DRAMActivatePJ float64
+	DRAMReadPJ     float64
+	DRAMWritePJ    float64
+
+	// Static (standby + refresh) energy, set via WithStatic; not part of
+	// the dynamic totals that Figure 8(d) compares.
+	HBMStaticPJ  float64
+	DRAMStaticPJ float64
+}
+
+// FromStats builds a breakdown from the two device counters.
+func FromStats(hbm, ddr dram.Stats) Breakdown {
+	return Breakdown{
+		HBMActivatePJ:  hbm.ActEnergyPJ,
+		HBMReadPJ:      hbm.ReadEnergyPJ,
+		HBMWritePJ:     hbm.WriteEnergyPJ,
+		DRAMActivatePJ: ddr.ActEnergyPJ,
+		DRAMReadPJ:     ddr.ReadEnergyPJ,
+		DRAMWritePJ:    ddr.WriteEnergyPJ,
+	}
+}
+
+// WithStatic returns a copy of the breakdown with static (standby +
+// refresh) energy added for a run of the given length, using each
+// device's background power.
+func (b Breakdown) WithStatic(hbmStaticPJ, dramStaticPJ float64) Breakdown {
+	out := b
+	out.HBMStaticPJ = hbmStaticPJ
+	out.DRAMStaticPJ = dramStaticPJ
+	return out
+}
+
+// HBMPJ returns the HBM share.
+func (b Breakdown) HBMPJ() float64 { return b.HBMActivatePJ + b.HBMReadPJ + b.HBMWritePJ }
+
+// DRAMPJ returns the off-chip DRAM share.
+func (b Breakdown) DRAMPJ() float64 { return b.DRAMActivatePJ + b.DRAMReadPJ + b.DRAMWritePJ }
+
+// TotalPJ returns the total memory dynamic energy.
+func (b Breakdown) TotalPJ() float64 { return b.HBMPJ() + b.DRAMPJ() }
+
+// TotalMJ returns the total in millijoules for readable reports.
+func (b Breakdown) TotalMJ() float64 { return b.TotalPJ() / 1e9 }
+
+// StaticPJ returns the static (standby + refresh) energy.
+func (b Breakdown) StaticPJ() float64 { return b.HBMStaticPJ + b.DRAMStaticPJ }
+
+// TotalWithStaticPJ returns dynamic plus static energy.
+func (b Breakdown) TotalWithStaticPJ() float64 { return b.TotalPJ() + b.StaticPJ() }
+
+// Add returns the element-wise sum of two breakdowns.
+func (b Breakdown) Add(o Breakdown) Breakdown {
+	return Breakdown{
+		HBMActivatePJ:  b.HBMActivatePJ + o.HBMActivatePJ,
+		HBMReadPJ:      b.HBMReadPJ + o.HBMReadPJ,
+		HBMWritePJ:     b.HBMWritePJ + o.HBMWritePJ,
+		DRAMActivatePJ: b.DRAMActivatePJ + o.DRAMActivatePJ,
+		DRAMReadPJ:     b.DRAMReadPJ + o.DRAMReadPJ,
+		DRAMWritePJ:    b.DRAMWritePJ + o.DRAMWritePJ,
+		HBMStaticPJ:    b.HBMStaticPJ + o.HBMStaticPJ,
+		DRAMStaticPJ:   b.DRAMStaticPJ + o.DRAMStaticPJ,
+	}
+}

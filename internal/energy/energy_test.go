@@ -1,0 +1,62 @@
+package energy
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+)
+
+func TestFromStatsAndTotals(t *testing.T) {
+	hbm := dram.Stats{ActEnergyPJ: 100, ReadEnergyPJ: 200, WriteEnergyPJ: 300}
+	ddr := dram.Stats{ActEnergyPJ: 10, ReadEnergyPJ: 20, WriteEnergyPJ: 30}
+	b := FromStats(hbm, ddr)
+	if b.HBMPJ() != 600 {
+		t.Errorf("HBM PJ = %f", b.HBMPJ())
+	}
+	if b.DRAMPJ() != 60 {
+		t.Errorf("DRAM PJ = %f", b.DRAMPJ())
+	}
+	if b.TotalPJ() != 660 {
+		t.Errorf("total PJ = %f", b.TotalPJ())
+	}
+	if b.TotalMJ() != 660/1e9 {
+		t.Errorf("total mJ = %f", b.TotalMJ())
+	}
+}
+
+func TestAdd(t *testing.T) {
+	a := Breakdown{HBMActivatePJ: 1, HBMReadPJ: 2, HBMWritePJ: 3,
+		DRAMActivatePJ: 4, DRAMReadPJ: 5, DRAMWritePJ: 6}
+	sum := a.Add(a)
+	if sum.TotalPJ() != 2*a.TotalPJ() {
+		t.Errorf("Add total = %f, want %f", sum.TotalPJ(), 2*a.TotalPJ())
+	}
+	if sum.HBMActivatePJ != 2 || sum.DRAMWritePJ != 12 {
+		t.Errorf("Add fields wrong: %+v", sum)
+	}
+}
+
+func TestZeroBreakdown(t *testing.T) {
+	var b Breakdown
+	if b.TotalPJ() != 0 || b.HBMPJ() != 0 || b.DRAMPJ() != 0 {
+		t.Error("zero breakdown not zero")
+	}
+}
+
+func TestWithStatic(t *testing.T) {
+	b := FromStats(dram.Stats{ReadEnergyPJ: 100}, dram.Stats{ReadEnergyPJ: 50}).
+		WithStatic(1000, 2000)
+	if b.StaticPJ() != 3000 {
+		t.Errorf("static = %f", b.StaticPJ())
+	}
+	if b.TotalPJ() != 150 {
+		t.Errorf("dynamic total changed: %f", b.TotalPJ())
+	}
+	if b.TotalWithStaticPJ() != 3150 {
+		t.Errorf("total with static = %f", b.TotalWithStaticPJ())
+	}
+	sum := b.Add(b)
+	if sum.StaticPJ() != 6000 {
+		t.Errorf("Add dropped static: %f", sum.StaticPJ())
+	}
+}

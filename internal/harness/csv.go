@@ -1,0 +1,67 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/metrics"
+)
+
+// WriteRunsCSV dumps per-(design, benchmark) run results for external
+// plotting: one row per run with the raw metrics behind every figure.
+func WriteRunsCSV(w io.Writer, runs []RunResult) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"design", "bench", "instructions", "cycles", "ipc", "mpki",
+		"avg_miss_latency", "served_hbm", "served_dram", "block_fills",
+		"page_migrations", "mode_switches", "page_swaps", "evictions",
+		"page_faults", "hbm_bytes", "dram_bytes", "dynamic_pj", "static_pj",
+		"fetched_bytes", "used_bytes",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 10, 64) }
+	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
+	for _, r := range runs {
+		row := []string{
+			r.Design, r.Bench,
+			u(r.CPU.Instructions), u(r.CPU.Cycles),
+			f(r.CPU.IPC()), f(r.CPU.MPKI()), f(r.CPU.AvgMissLatency()),
+			u(r.Counters.ServedHBM), u(r.Counters.ServedDRAM),
+			u(r.Counters.BlockFills), u(r.Counters.PageMigrations),
+			u(r.Counters.ModeSwitches), u(r.Counters.PageSwaps),
+			u(r.Counters.Evictions), u(r.Counters.PageFaults),
+			u(r.HBMBytes), u(r.DRAMBytes),
+			f(r.Energy.TotalPJ()), f(r.Energy.StaticPJ()),
+			u(r.Counters.FetchedBytes), u(r.Counters.UsedBytes),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTableCSV dumps a metrics.Table (one figure panel) as CSV.
+func WriteTableCSV(w io.Writer, t *metrics.Table) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"design"}, t.Columns...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		rec := []string{row.Name}
+		for _, c := range t.Columns {
+			rec = append(rec, fmt.Sprintf("%.6f", row.Values[c]))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

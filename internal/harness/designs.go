@@ -1,0 +1,76 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/baselines/alloy"
+	"repro/internal/baselines/banshee"
+	"repro/internal/baselines/chameleon"
+	"repro/internal/baselines/hybrid2"
+	"repro/internal/baselines/nohbm"
+	"repro/internal/baselines/unison"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/hmm"
+)
+
+// Build constructs a memory system by design name. Bumblebee's fixed
+// ratio variants (C-Only, M-Only) are Bumblebee with pinned ratios, as in
+// the paper's Figure 7.
+func Build(design config.Design, sys config.System) (hmm.MemSystem, error) {
+	switch design {
+	case config.DesignBumblebee:
+		return core.New(sys)
+	case config.DesignCacheOnly:
+		sys.Bumblebee.FixedRatio = true
+		sys.Bumblebee.FixedCacheRatio = 1
+		return core.New(sys)
+	case config.DesignPOMOnly:
+		sys.Bumblebee.FixedRatio = true
+		sys.Bumblebee.FixedCacheRatio = 0
+		return core.New(sys)
+	case config.DesignHybrid2:
+		return hybrid2.New(sys)
+	case config.DesignChameleon:
+		return chameleon.New(sys)
+	case config.DesignBanshee:
+		return banshee.New(sys)
+	case config.DesignAlloy:
+		return alloy.New(sys)
+	case config.DesignUnison:
+		return unison.New(sys)
+	case config.DesignNoHBM:
+		return nohbm.New(sys)
+	default:
+		return nil, fmt.Errorf("harness: unknown design %q", design)
+	}
+}
+
+// Variant is one bar of the Figure 7 factor breakdown: a label plus the
+// option mutation that produces it.
+type Variant struct {
+	Label string
+	Apply func(*config.System)
+}
+
+// Fig7Variants returns the ten bars of Figure 7 in paper order.
+func Fig7Variants() []Variant {
+	fix := func(r float64) func(*config.System) {
+		return func(s *config.System) {
+			s.Bumblebee.FixedRatio = true
+			s.Bumblebee.FixedCacheRatio = r
+		}
+	}
+	return []Variant{
+		{"C-Only", fix(1)},
+		{"M-Only", fix(0)},
+		{"25%-C", fix(0.25)},
+		{"50%-C", fix(0.5)},
+		{"No-Multi", func(s *config.System) { s.Bumblebee.NoMultiplex = true }},
+		{"Meta-H", func(s *config.System) { s.Bumblebee.MetadataInHBM = true }},
+		{"Alloc-D", func(s *config.System) { s.Bumblebee.AllocAllDRAM = true }},
+		{"Alloc-H", func(s *config.System) { s.Bumblebee.AllocAllHBM = true }},
+		{"No-HMF", func(s *config.System) { s.Bumblebee.NoHMF = true }},
+		{"Bumblebee", func(s *config.System) {}},
+	}
+}

@@ -1,0 +1,97 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// Figure 6: the block-size/page-size design-space sweep. The paper sweeps
+// blocks of 1/2/4 KB against pages of 64/96/128 KB, reports the geomean
+// normalized IPC of every Table II benchmark for each configuration, and
+// picks 2 KB / 64 KB (best performance with metadata still under the
+// 512 KB SRAM budget).
+
+// Fig6Config is one point of the sweep.
+type Fig6Config struct {
+	BlockKB, PageKB uint64
+}
+
+// Fig6Configs returns the paper's nine configurations in figure order.
+func Fig6Configs() []Fig6Config {
+	var out []Fig6Config
+	for _, blk := range []uint64{1, 2, 4} {
+		for _, pg := range []uint64{64, 96, 128} {
+			out = append(out, Fig6Config{BlockKB: blk, PageKB: pg})
+		}
+	}
+	return out
+}
+
+// Label renders a configuration like the figure's x axis ("2-64").
+func (c Fig6Config) Label() string { return fmt.Sprintf("%d-%d", c.BlockKB, c.PageKB) }
+
+// Fig6Result pairs a configuration with its geomean normalized IPC and
+// metadata footprint.
+type Fig6Result struct {
+	Config        Fig6Config
+	Speedup       float64
+	MetadataBytes uint64
+}
+
+// Fig6 reproduces the design-space exploration.
+func (h *Harness) Fig6() ([]Fig6Result, error) {
+	bs := h.Benchmarks()
+	base, err := h.runBaseline(bs)
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig6Result
+	for _, cfg := range Fig6Configs() {
+		sys := h.System()
+		sys.BlockBytes = cfg.BlockKB * addr.KiB
+		sys.PageBytes = cfg.PageKB * addr.KiB
+		var speedups []float64
+		for _, b := range bs {
+			mem, err := Build(config.DesignBumblebee, sys)
+			if err != nil {
+				return nil, fmt.Errorf("fig6 %s: %w", cfg.Label(), err)
+			}
+			r, err := h.Run(sys, mem, b)
+			if err != nil {
+				return nil, err
+			}
+			speedups = append(speedups, r.CPU.IPC()/base.ipc[b.Profile.Name])
+		}
+		gm, err := metrics.Geomean(speedups)
+		if err != nil {
+			return nil, err
+		}
+		// Metadata is reported for the full-scale Table I capacities —
+		// the SRAM-budget constraint that picks the design point.
+		full := config.Default()
+		full.BlockBytes = sys.BlockBytes
+		full.PageBytes = sys.PageBytes
+		geom, err := full.Geometry()
+		if err != nil {
+			return nil, err
+		}
+		md := core.Metadata(geom, sys.Bumblebee.HotQueueDepth)
+		out = append(out, Fig6Result{Config: cfg, Speedup: gm, MetadataBytes: md.TotalBytes()})
+		h.logf("fig6 %-6s speedup %.3f metadata %dKB", cfg.Label(), gm, md.TotalBytes()/addr.KiB)
+	}
+	return out, nil
+}
+
+// Fig6Table renders the sweep like the figure.
+func Fig6Table(results []Fig6Result) string {
+	out := "== Figure 6: normalized IPC by block-page size (KB) ==\n"
+	out += fmt.Sprintf("%-8s %10s %14s\n", "config", "speedup", "metadata(KB)")
+	for _, r := range results {
+		out += fmt.Sprintf("%-8s %10.3f %14d\n", r.Config.Label(), r.Speedup, r.MetadataBytes/addr.KiB)
+	}
+	return out
+}

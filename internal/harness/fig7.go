@@ -1,0 +1,60 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+// Figure 7: the performance-factor breakdown. Ten Bumblebee variants
+// (single modes, fixed ratios, and one ablation per design decision) run
+// every Table II benchmark; each bar is the geomean speedup over the
+// no-HBM baseline.
+
+// Fig7Result is one bar.
+type Fig7Result struct {
+	Label   string
+	Speedup float64
+}
+
+// Fig7 reproduces the factor breakdown.
+func (h *Harness) Fig7() ([]Fig7Result, error) {
+	bs := h.Benchmarks()
+	base, err := h.runBaseline(bs)
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig7Result
+	for _, v := range Fig7Variants() {
+		var speedups []float64
+		for _, b := range bs {
+			sys := h.System()
+			v.Apply(&sys)
+			mem, err := Build("bumblebee", sys)
+			if err != nil {
+				return nil, fmt.Errorf("fig7 %s: %w", v.Label, err)
+			}
+			r, err := h.Run(sys, mem, b)
+			if err != nil {
+				return nil, err
+			}
+			speedups = append(speedups, r.CPU.IPC()/base.ipc[b.Profile.Name])
+		}
+		gm, err := metrics.Geomean(speedups)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig7Result{Label: v.Label, Speedup: gm})
+		h.logf("fig7 %-10s speedup %.3f", v.Label, gm)
+	}
+	return out, nil
+}
+
+// Fig7Table renders the breakdown like the figure.
+func Fig7Table(results []Fig7Result) string {
+	out := "== Figure 7: performance factors breakdown (geomean speedup vs no-HBM) ==\n"
+	for _, r := range results {
+		out += fmt.Sprintf("%-10s %8.3f\n", r.Label, r.Speedup)
+	}
+	return out
+}

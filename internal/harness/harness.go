@@ -1,0 +1,151 @@
+// Package harness defines one experiment per table and figure of the
+// paper's evaluation: it builds systems, runs the Table II workloads on
+// each design, normalizes results against the no-HBM baseline, and prints
+// the same rows and series the paper reports.
+//
+// Experiments run on a capacity-scaled system (default 1/128 of Table I:
+// HBM 8 MiB, DRAM 80 MiB, LLC 64 KiB) with workload footprints scaled by
+// the same factor, so every footprint-to-capacity ratio — and therefore
+// the caching, migration and footprint-pressure behaviour — matches the
+// full-size machine while runs finish in seconds.
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/cpu"
+	"repro/internal/energy"
+	"repro/internal/hmm"
+	"repro/internal/trace"
+)
+
+// Harness carries the experiment-wide knobs.
+type Harness struct {
+	Scale    uint64 // capacity scale factor vs Table I
+	Accesses uint64 // memory references simulated per benchmark run
+	Progress func(format string, args ...any)
+}
+
+// New returns a harness at the default reproduction scale.
+func New() *Harness {
+	return &Harness{Scale: 128, Accesses: 1_500_000}
+}
+
+func (h *Harness) logf(format string, args ...any) {
+	if h.Progress != nil {
+		h.Progress(format, args...)
+	}
+}
+
+// System returns the scaled Table I configuration: memory capacities and
+// the LLC shrink by Scale (preserving the LLC:HBM:DRAM ratios); the L1
+// and L2 shrink to small fixed sizes that keep their filtering role.
+func (h *Harness) System() config.System {
+	sys := config.Default()
+	if h.Scale <= 1 {
+		return sys
+	}
+	sys.HBM.CapacityBytes /= h.Scale
+	sys.DRAM.CapacityBytes /= h.Scale
+	for i := range sys.Caches {
+		sz := sys.Caches[i].SizeBytes / h.Scale
+		min := uint64(sys.Caches[i].Ways) * sys.Caches[i].LineBytes * 4
+		if sz < min {
+			sz = min
+		}
+		sys.Caches[i].SizeBytes = sz
+	}
+	return sys
+}
+
+// Benchmarks returns the Table II set scaled to the harness.
+func (h *Harness) Benchmarks() []trace.Benchmark {
+	bs := trace.TableII()
+	out := make([]trace.Benchmark, len(bs))
+	for i, b := range bs {
+		out[i] = b.Scale(h.Scale)
+	}
+	return out
+}
+
+// RunResult is one (design, benchmark) simulation outcome.
+type RunResult struct {
+	Design string
+	Bench  string
+
+	CPU      cpu.Result
+	Counters hmm.Counters
+	Energy   energy.Breakdown
+
+	HBMBytes  uint64 // total HBM bus traffic
+	DRAMBytes uint64 // total off-chip DRAM bus traffic
+}
+
+// Run simulates one benchmark on one memory system built for sys.
+func (h *Harness) Run(sys config.System, mem hmm.MemSystem, b trace.Benchmark) (RunResult, error) {
+	hier, err := cache.NewHierarchy(sys.Caches)
+	if err != nil {
+		return RunResult{}, err
+	}
+	gen, err := trace.NewSynthetic(b.Profile)
+	if err != nil {
+		return RunResult{}, err
+	}
+	res, err := cpu.Run(sys.Core, hier, mem, &trace.Limit{S: gen, N: h.Accesses})
+	if err != nil {
+		return RunResult{}, err
+	}
+	dev := mem.Devices()
+	hbm, ddr := dev.HBM.Stats(), dev.DRAM.Stats()
+	e := energy.FromStats(hbm, ddr).WithStatic(
+		dev.HBM.BackgroundEnergyPJ(res.Cycles),
+		dev.DRAM.BackgroundEnergyPJ(res.Cycles))
+	return RunResult{
+		Design:    mem.Name(),
+		Bench:     b.Profile.Name,
+		CPU:       res,
+		Counters:  mem.Counters(),
+		Energy:    e,
+		HBMBytes:  hbm.TotalBytes(),
+		DRAMBytes: ddr.TotalBytes(),
+	}, nil
+}
+
+// RunDesign builds the named design and runs one benchmark on it.
+func (h *Harness) RunDesign(design config.Design, b trace.Benchmark) (RunResult, error) {
+	sys := h.System()
+	mem, err := Build(design, sys)
+	if err != nil {
+		return RunResult{}, err
+	}
+	return h.Run(sys, mem, b)
+}
+
+// baselineIPC runs the no-HBM baseline for every benchmark once and
+// caches the IPCs and traffic used for normalization.
+type baseline struct {
+	ipc   map[string]float64
+	bytes map[string]uint64 // DRAM traffic of the no-HBM run
+	pj    map[string]float64
+}
+
+func (h *Harness) runBaseline(bs []trace.Benchmark) (*baseline, error) {
+	out := &baseline{
+		ipc:   make(map[string]float64),
+		bytes: make(map[string]uint64),
+		pj:    make(map[string]float64),
+	}
+	for _, b := range bs {
+		r, err := h.RunDesign(config.DesignNoHBM, b)
+		if err != nil {
+			return nil, fmt.Errorf("baseline %s: %w", b.Profile.Name, err)
+		}
+		out.ipc[b.Profile.Name] = r.CPU.IPC()
+		out.bytes[b.Profile.Name] = r.DRAMBytes
+		out.pj[b.Profile.Name] = r.Energy.TotalPJ()
+		h.logf("baseline %-10s IPC %.3f MPKI %5.1f", b.Profile.Name, r.CPU.IPC(), r.CPU.MPKI())
+	}
+	return out, nil
+}

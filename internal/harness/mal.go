@@ -1,0 +1,73 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+)
+
+// Section II-B measures the metadata access latency (MAL) of designs
+// that keep metadata in HBM: "it accounts for 2%~26% of the total memory
+// request latency". We reproduce the measurement by running the same
+// workload twice — metadata in SRAM vs. metadata in HBM (the Meta-H
+// configuration) — and attributing the average miss-latency difference
+// to metadata accesses.
+
+// MALResult is the metadata-latency share of one benchmark.
+type MALResult struct {
+	Bench    string
+	SRAMLat  float64 // avg miss latency, metadata in SRAM
+	HBMLat   float64 // avg miss latency, metadata in HBM
+	MALShare float64 // (HBMLat-SRAMLat)/HBMLat
+}
+
+// MAL measures the metadata access latency share for every Table II
+// benchmark.
+func (h *Harness) MAL() ([]MALResult, error) {
+	var out []MALResult
+	for _, b := range h.Benchmarks() {
+		sram, err := h.RunDesign(config.DesignBumblebee, b)
+		if err != nil {
+			return nil, err
+		}
+		sysH := h.System()
+		sysH.Bumblebee.MetadataInHBM = true
+		memH, err := Build(config.DesignBumblebee, sysH)
+		if err != nil {
+			return nil, err
+		}
+		hbm, err := h.Run(sysH, memH, b)
+		if err != nil {
+			return nil, err
+		}
+		r := MALResult{
+			Bench:   b.Profile.Name,
+			SRAMLat: sram.CPU.AvgMissLatency(),
+			HBMLat:  hbm.CPU.AvgMissLatency(),
+		}
+		if r.HBMLat > 0 && r.HBMLat > r.SRAMLat {
+			r.MALShare = (r.HBMLat - r.SRAMLat) / r.HBMLat
+		}
+		out = append(out, r)
+		h.logf("mal %-10s sram %.0f hbm %.0f share %.1f%%", r.Bench, r.SRAMLat, r.HBMLat, r.MALShare*100)
+	}
+	return out, nil
+}
+
+// MALTable renders the measurement like the paper quotes it.
+func MALTable(results []MALResult) string {
+	out := "== Section II-B: metadata access latency in HBM (share of miss latency) ==\n"
+	out += fmt.Sprintf("%-11s %12s %12s %8s\n", "bench", "SRAM-lat", "HBM-lat", "MAL")
+	min, max := 1.0, 0.0
+	for _, r := range results {
+		out += fmt.Sprintf("%-11s %12.0f %12.0f %7.1f%%\n", r.Bench, r.SRAMLat, r.HBMLat, r.MALShare*100)
+		if r.MALShare < min {
+			min = r.MALShare
+		}
+		if r.MALShare > max {
+			max = r.MALShare
+		}
+	}
+	out += fmt.Sprintf("range %.0f%%~%.0f%%   (paper: 2%%~26%%)\n", min*100, max*100)
+	return out
+}

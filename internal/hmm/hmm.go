@@ -1,0 +1,442 @@
+// Package hmm provides the scaffolding shared by every hybrid memory
+// design in this repository: the MemSystem interface the CPU model drives,
+// the device bundle (die-stacked HBM + off-chip DRAM) with flat-address
+// mapping and page-copy helpers, the metadata access-cost model (on-chip
+// SRAM vs. in-HBM), and the over-fetch tracker used for the paper's
+// Section IV-B analysis.
+package hmm
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/config"
+	"repro/internal/dram"
+)
+
+// MemSystem is a hybrid memory design as seen by the CPU model: it
+// receives the LLC miss stream plus LLC dirty writebacks and internally
+// decides which device serves which bytes.
+type MemSystem interface {
+	// Name identifies the design ("bumblebee", "hybrid2", ...).
+	Name() string
+	// Access serves one LLC miss for the 64 B line at a, starting no
+	// earlier than CPU cycle now; it returns the completion cycle.
+	Access(now uint64, a addr.Addr, write bool) uint64
+	// Writeback accepts an LLC dirty eviction of the 64 B line at a.
+	// Writebacks are posted: the core never waits for them.
+	Writeback(now uint64, a addr.Addr)
+	// Counters returns the design's event counters.
+	Counters() Counters
+	// Devices exposes the underlying device models for traffic and
+	// energy accounting.
+	Devices() *Devices
+}
+
+// Counters are the design-independent event counts every MemSystem
+// reports. Traffic and energy live in the device stats; these counters
+// explain *why* the traffic happened.
+type Counters struct {
+	Requests   uint64 // LLC misses served
+	Writebacks uint64 // LLC dirty evictions received
+
+	ServedHBM  uint64 // demand requests whose data came from HBM
+	ServedDRAM uint64 // demand requests whose data came from off-chip DRAM
+
+	BlockFills     uint64 // block fetches into cHBM
+	PageMigrations uint64 // page moves into mHBM / POM
+	Evictions      uint64 // pages or blocks evicted from HBM
+	ModeSwitches   uint64 // cHBM<->mHBM transitions (Bumblebee-family)
+	PageSwaps      uint64 // full page swaps (POM designs)
+
+	MetaLookups uint64 // metadata reads on the critical path
+	MetaHBM     uint64 // metadata reads that had to go to HBM
+
+	PageFaults uint64 // accesses beyond the design's OS-visible capacity
+
+	FetchedBytes uint64 // bytes brought into HBM by fills/migrations
+	UsedBytes    uint64 // of those, bytes actually touched before eviction
+}
+
+// HBMServeRate returns the fraction of demand requests served from HBM.
+func (c Counters) HBMServeRate() float64 {
+	if c.Requests == 0 {
+		return 0
+	}
+	return float64(c.ServedHBM) / float64(c.Requests)
+}
+
+// OverfetchRate returns the share of bytes brought into HBM that were
+// never touched before eviction (Section IV-B). Pages still resident at
+// the end of the run are settled by the design calling FetchTracker.Drain.
+func (c Counters) OverfetchRate() float64 {
+	if c.FetchedBytes == 0 {
+		return 0
+	}
+	used := c.UsedBytes
+	if used > c.FetchedBytes {
+		used = c.FetchedBytes
+	}
+	return 1 - float64(used)/float64(c.FetchedBytes)
+}
+
+// Devices bundles the two memory devices with the flat-address geometry.
+// The OS-visible flat address space is [0, DRAM+HBM): addresses below the
+// DRAM capacity name off-chip DRAM page frames, the rest name HBM frames
+// (used only when HBM serves as mHBM).
+type Devices struct {
+	HBM  *dram.Device
+	DRAM *dram.Device
+	Geom *addr.Geometry
+}
+
+// NewDevices builds the device bundle for a system configuration.
+func NewDevices(sys config.System) (*Devices, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	geom, err := sys.Geometry()
+	if err != nil {
+		return nil, err
+	}
+	return NewDevicesWithGeometry(sys, geom)
+}
+
+// NewDevicesWithGeometry builds the device bundle with an explicit
+// geometry; baseline designs that manage different page/block sizes than
+// the system default use this.
+func NewDevicesWithGeometry(sys config.System, geom *addr.Geometry) (*Devices, error) {
+	hbm, err := dram.New(sys.HBM, sys.Core.FreqMHz)
+	if err != nil {
+		return nil, err
+	}
+	ddr, err := dram.New(sys.DRAM, sys.Core.FreqMHz)
+	if err != nil {
+		return nil, err
+	}
+	return &Devices{HBM: hbm, DRAM: ddr, Geom: geom}, nil
+}
+
+// HBMPageBase returns the device-local base address of HBM page frame i
+// (0 <= i < Geom.HBMPages()).
+func (d *Devices) HBMPageBase(i uint64) addr.Addr {
+	return addr.Addr(i * d.Geom.PageSize)
+}
+
+// DRAMPageBase returns the device-local base address of DRAM page frame i.
+func (d *Devices) DRAMPageBase(i uint64) addr.Addr {
+	return addr.Addr(i * d.Geom.PageSize)
+}
+
+// ReadHBM reads bytes from HBM page frame page at byte offset off.
+func (d *Devices) ReadHBM(now, page, off, bytes uint64) uint64 {
+	return d.HBM.Access(now, d.HBMPageBase(page)+addr.Addr(off), bytes, false)
+}
+
+// WriteHBM writes bytes to HBM page frame page at byte offset off.
+func (d *Devices) WriteHBM(now, page, off, bytes uint64) uint64 {
+	return d.HBM.Access(now, d.HBMPageBase(page)+addr.Addr(off), bytes, true)
+}
+
+// ReadDRAM reads bytes from DRAM page frame page at byte offset off.
+func (d *Devices) ReadDRAM(now, page, off, bytes uint64) uint64 {
+	return d.DRAM.Access(now, d.DRAMPageBase(page)+addr.Addr(off), bytes, false)
+}
+
+// WriteDRAM writes bytes to DRAM page frame page at byte offset off.
+func (d *Devices) WriteDRAM(now, page, off, bytes uint64) uint64 {
+	return d.DRAM.Access(now, d.DRAMPageBase(page)+addr.Addr(off), bytes, true)
+}
+
+// AccessHBM reads or writes bytes in HBM page frame page.
+func (d *Devices) AccessHBM(now, page, off, bytes uint64, write bool) uint64 {
+	return d.HBM.Access(now, d.HBMPageBase(page)+addr.Addr(off), bytes, write)
+}
+
+// AccessDRAM reads or writes bytes in DRAM page frame page.
+func (d *Devices) AccessDRAM(now, page, off, bytes uint64, write bool) uint64 {
+	return d.DRAM.Access(now, d.DRAMPageBase(page)+addr.Addr(off), bytes, write)
+}
+
+// CopyDRAMToHBM moves bytes from a DRAM frame region to an HBM frame
+// region (store-and-forward: the write starts when the read finishes).
+func (d *Devices) CopyDRAMToHBM(now, dramPage, dramOff, hbmPage, hbmOff, bytes uint64) uint64 {
+	rd := d.ReadDRAM(now, dramPage, dramOff, bytes)
+	return d.WriteHBM(rd, hbmPage, hbmOff, bytes)
+}
+
+// CopyHBMToDRAM moves bytes from an HBM frame region to a DRAM frame
+// region.
+func (d *Devices) CopyHBMToDRAM(now, hbmPage, hbmOff, dramPage, dramOff, bytes uint64) uint64 {
+	rd := d.ReadHBM(now, hbmPage, hbmOff, bytes)
+	return d.WriteDRAM(rd, dramPage, dramOff, bytes)
+}
+
+// CopyHBMToHBM moves bytes between two HBM frames (No-Multi mode switches).
+func (d *Devices) CopyHBMToHBM(now, srcPage, srcOff, dstPage, dstOff, bytes uint64) uint64 {
+	rd := d.ReadHBM(now, srcPage, srcOff, bytes)
+	return d.WriteHBM(rd, dstPage, dstOff, bytes)
+}
+
+// SwapPages exchanges a DRAM frame and an HBM frame (POM swap): both
+// pages cross both buses.
+func (d *Devices) SwapPages(now, dramPage, hbmPage uint64) uint64 {
+	size := d.Geom.PageSize
+	a := d.CopyDRAMToHBM(now, dramPage, 0, hbmPage, 0, size)
+	b := d.CopyHBMToDRAM(now, hbmPage, 0, dramPage, 0, size)
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Mover models the data movement module's finite bandwidth with a byte
+// budget: asynchronous movements (migrations, mode switches, evictions,
+// swaps) may consume at most a fixed share of the off-chip DRAM
+// bandwidth. A movement of B bytes keeps the engine busy for
+// B*cyclesPerByte cycles; while busy, new movement opportunities are
+// skipped and naturally retried by later accesses. Without this budget a
+// migration-happy phase would charge the devices hundreds of times the
+// demand bandwidth, which no real controller's movement engine would
+// issue — and which would (wrongly) make every POM design look
+// catastrophic on streaming workloads.
+type Mover struct {
+	nextFree      float64 // cycle at which the engine can start a new movement
+	cyclesPerByte float64
+
+	Started uint64
+	Skipped uint64
+}
+
+// NewMover builds a movement engine with the given budget in bytes per
+// CPU cycle.
+func NewMover(bytesPerCycle float64) *Mover {
+	if bytesPerCycle <= 0 {
+		bytesPerCycle = 1
+	}
+	return &Mover{cyclesPerByte: 1 / bytesPerCycle}
+}
+
+// TryStart asks to move `bytes` starting at cycle now. It returns false
+// (and the caller skips the movement) while the engine is busy; on
+// success it books the engine for the movement's duration.
+func (m *Mover) TryStart(now uint64, bytes uint64) bool {
+	if float64(now) < m.nextFree {
+		m.Skipped++
+		return false
+	}
+	m.nextFree = float64(now) + float64(bytes)*m.cyclesPerByte
+	m.Started++
+	return true
+}
+
+// Charge books additional bytes onto a movement already started (for
+// eviction chains whose size is only known as they unfold).
+func (m *Mover) Charge(bytes uint64) {
+	m.nextFree += float64(bytes) * m.cyclesPerByte
+}
+
+// OSMem models the OS-visible memory capacity of a design. A cache-only
+// design hides the whole HBM from the OS, so workload pages beyond the
+// off-chip DRAM capacity must be paged from backing store; POM and hybrid
+// designs expose (part of) HBM as memory and avoid those faults — the
+// capacity benefit the paper's HMF(5) flush exists to maximize. Accesses
+// to pages beyond the capacity pay PenaltyCycles (an optimistic NVMe
+// swap-in) and are then served from the aliased frame.
+type OSMem struct {
+	Pages         uint64 // OS-visible capacity in workload pages
+	PenaltyCycles uint64
+	Faults        uint64
+}
+
+// NewOSMem builds the capacity model: capacityBytes of OS-visible memory
+// in pages of pageBytes, with a fault penalty of penaltyNS.
+func NewOSMem(capacityBytes, pageBytes uint64, penaltyNS float64, cpuFreqMHz uint64) *OSMem {
+	return &OSMem{
+		Pages:         capacityBytes / pageBytes,
+		PenaltyCycles: uint64(penaltyNS * float64(cpuFreqMHz) / 1e3),
+	}
+}
+
+// Admit charges a page fault when page lies beyond the OS-visible
+// capacity and returns the cycle at which the access may proceed.
+func (o *OSMem) Admit(now uint64, page uint64) uint64 {
+	if o == nil || page < o.Pages || o.PenaltyCycles == 0 {
+		return now
+	}
+	o.Faults++
+	return now + o.PenaltyCycles
+}
+
+// Fault charges one unconditional page fault: used when a page that
+// should fit the OS-visible capacity cannot actually be given a frame
+// (e.g. Bumblebee's No-HMF ablation, which cannot flush cHBM to make
+// room).
+func (o *OSMem) Fault(now uint64) uint64 {
+	if o == nil || o.PenaltyCycles == 0 {
+		return now
+	}
+	o.Faults++
+	return now + o.PenaltyCycles
+}
+
+// Meta models the latency of metadata lookups and updates. When InHBM is
+// false the metadata lives in on-chip SRAM and costs SRAMCycles per
+// lookup; otherwise each lookup reads (and each update writes) one 64 B
+// metadata line in HBM, competing with demand traffic — the paper's
+// Meta-H ablation and the in-HBM metadata of Chameleon/Hybrid2.
+type Meta struct {
+	InHBM      bool
+	SRAMCycles uint64
+	Dev        *Devices
+
+	Lookups uint64
+	HBMHits uint64
+}
+
+// NewMeta builds the metadata cost model from a system config.
+func NewMeta(sys config.System, dev *Devices, inHBM bool) *Meta {
+	cyc := uint64(sys.SRAMMetaNS * float64(sys.Core.FreqMHz) / 1e3)
+	if cyc == 0 {
+		cyc = 1
+	}
+	return &Meta{InHBM: inHBM, SRAMCycles: cyc, Dev: dev}
+}
+
+// metaLine picks a deterministic 64 B HBM line for metadata key k. The
+// metadata region aliases the top HBM frame; the exact placement only
+// matters for bank-conflict realism.
+func (m *Meta) metaLine(k uint64) (page, off uint64) {
+	g := m.Dev.Geom
+	lines := g.PageSize / 64
+	return g.HBMPages() - 1, (k % lines) * 64
+}
+
+// Lookup charges one metadata read keyed by k and returns the cycle the
+// metadata is available.
+func (m *Meta) Lookup(now uint64, k uint64) uint64 {
+	m.Lookups++
+	if !m.InHBM {
+		return now + m.SRAMCycles
+	}
+	m.HBMHits++
+	page, off := m.metaLine(k)
+	return m.Dev.ReadHBM(now, page, off, 64)
+}
+
+// Update charges one metadata write keyed by k (posted; returns
+// immediately for SRAM, after the write for HBM).
+func (m *Meta) Update(now uint64, k uint64) uint64 {
+	if !m.InHBM {
+		return now + m.SRAMCycles
+	}
+	m.HBMHits++
+	page, off := m.metaLine(k)
+	return m.Dev.WriteHBM(now, page, off, 64)
+}
+
+// MetaCache is a direct-mapped SRAM cache in front of in-HBM metadata,
+// modelling the "hundreds of kilobytes SRAM used as a metadata cache" of
+// KNL and Hybrid2. A hit costs the SRAM latency; a miss additionally
+// reads the metadata line from HBM.
+type MetaCache struct {
+	meta  *Meta
+	tags  []uint64
+	valid []bool
+
+	Hits, Misses uint64
+}
+
+// NewMetaCache builds a metadata cache with the given number of entries.
+func NewMetaCache(meta *Meta, entries int) (*MetaCache, error) {
+	if entries <= 0 {
+		return nil, fmt.Errorf("hmm: metadata cache needs positive entries")
+	}
+	return &MetaCache{
+		meta:  meta,
+		tags:  make([]uint64, entries),
+		valid: make([]bool, entries),
+	}, nil
+}
+
+// Lookup resolves metadata key k through the cache.
+func (c *MetaCache) Lookup(now uint64, k uint64) uint64 {
+	idx := k % uint64(len(c.tags))
+	if c.valid[idx] && c.tags[idx] == k {
+		c.Hits++
+		return now + c.meta.SRAMCycles
+	}
+	c.Misses++
+	c.tags[idx] = k
+	c.valid[idx] = true
+	// Miss: SRAM probe plus the in-HBM metadata line read.
+	page, off := c.meta.metaLine(k)
+	c.meta.Lookups++
+	c.meta.HBMHits++
+	return c.meta.Dev.ReadHBM(now+c.meta.SRAMCycles, page, off, 64)
+}
+
+// FetchTracker accounts over-fetching: bytes brought into HBM versus
+// bytes of those actually touched before eviction, at 64 B granularity.
+type FetchTracker struct {
+	wordsPerPage uint64
+	pages        map[uint64][]uint64 // HBM frame -> fetched-and-unused bitmap
+
+	Fetched uint64
+	Used    uint64
+}
+
+// NewFetchTracker builds a tracker for pages of pageSize bytes.
+func NewFetchTracker(pageSize uint64) *FetchTracker {
+	return &FetchTracker{
+		wordsPerPage: pageSize / 64,
+		pages:        make(map[uint64][]uint64),
+	}
+}
+
+func (t *FetchTracker) bitmap(page uint64) []uint64 {
+	bm, ok := t.pages[page]
+	if !ok {
+		bm = make([]uint64, (t.wordsPerPage+63)/64)
+		t.pages[page] = bm
+	}
+	return bm
+}
+
+// OnFetch records that bytes at offset off of HBM frame page were brought
+// in from off-chip DRAM; they start out unused.
+func (t *FetchTracker) OnFetch(page, off, bytes uint64) {
+	t.Fetched += bytes
+	bm := t.bitmap(page)
+	for w := off / 64; w < (off+bytes+63)/64 && w < t.wordsPerPage; w++ {
+		bm[w/64] |= 1 << (w % 64)
+	}
+}
+
+// OnUse records a demand touch of bytes at offset off of HBM frame page;
+// first touches of fetched words count toward Used.
+func (t *FetchTracker) OnUse(page, off, bytes uint64) {
+	bm, ok := t.pages[page]
+	if !ok {
+		return
+	}
+	for w := off / 64; w < (off+bytes+63)/64 && w < t.wordsPerPage; w++ {
+		mask := uint64(1) << (w % 64)
+		if bm[w/64]&mask != 0 {
+			bm[w/64] &^= mask
+			t.Used += 64
+		}
+	}
+}
+
+// OnEvict drops frame page's bookkeeping: fetched-but-unused words stay
+// counted as over-fetch.
+func (t *FetchTracker) OnEvict(page uint64) {
+	delete(t.pages, page)
+}
+
+// Drain finalizes accounting at end of run; resident unfetched words stay
+// unused, matching the paper's "brought in HBM but unused" definition.
+func (t *FetchTracker) Drain() {
+	t.pages = make(map[uint64][]uint64)
+}

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary trace format:
+//
+//	magic "BBTR" | version u8 | records...
+//	record: addr varint | gap varint | flags u8 (bit0 = write)
+//
+// Addresses are delta-encoded against the previous address (zigzag), which
+// compresses sequential runs to a couple of bytes per access.
+const (
+	traceMagic   = "BBTR"
+	traceVersion = 1
+)
+
+// Writer streams accesses to an io.Writer in the binary trace format.
+type Writer struct {
+	w    *bufio.Writer
+	prev uint64
+	n    uint64
+}
+
+// NewWriter writes the header and returns a trace writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return nil, err
+	}
+	if err := bw.WriteByte(traceVersion); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+func zigzag(d int64) uint64   { return uint64(d<<1) ^ uint64(d>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Write appends one access.
+func (w *Writer) Write(a Access) error {
+	var buf [binary.MaxVarintLen64]byte
+	delta := zigzag(int64(uint64(a.Addr)) - int64(w.prev))
+	n := binary.PutUvarint(buf[:], delta)
+	if _, err := w.w.Write(buf[:n]); err != nil {
+		return err
+	}
+	n = binary.PutUvarint(buf[:], uint64(a.Gap))
+	if _, err := w.w.Write(buf[:n]); err != nil {
+		return err
+	}
+	var flags byte
+	if a.Write {
+		flags = 1
+	}
+	if err := w.w.WriteByte(flags); err != nil {
+		return err
+	}
+	w.prev = uint64(a.Addr)
+	w.n++
+	return nil
+}
+
+// Count returns the number of accesses written.
+func (w *Writer) Count() uint64 { return w.n }
+
+// Flush flushes buffered records to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader replays a binary trace as a Stream.
+type Reader struct {
+	r    *bufio.Reader
+	prev uint64
+	err  error
+}
+
+// NewReader validates the header and returns a trace reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(traceMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading version: %w", err)
+	}
+	if ver != traceVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", ver)
+	}
+	return &Reader{r: br}, nil
+}
+
+// Next implements Stream. It returns false at end of trace; check Err for
+// a non-EOF error.
+func (r *Reader) Next() (Access, bool) {
+	if r.err != nil {
+		return Access{}, false
+	}
+	delta, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		if !errors.Is(err, io.EOF) {
+			r.err = err
+		}
+		return Access{}, false
+	}
+	gap, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		r.err = fmt.Errorf("trace: truncated record: %w", err)
+		return Access{}, false
+	}
+	flags, err := r.r.ReadByte()
+	if err != nil {
+		r.err = fmt.Errorf("trace: truncated record: %w", err)
+		return Access{}, false
+	}
+	a := uint64(int64(r.prev) + unzigzag(delta))
+	r.prev = a
+	return Access{Addr: addrOf(a), Write: flags&1 != 0, Gap: uint32(gap)}, true
+}
+
+// Err reports a decoding error encountered by Next, if any.
+func (r *Reader) Err() error { return r.err }

@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+)
+
+// MPKIClass is the benchmark grouping of Table II.
+type MPKIClass string
+
+// Table II groups.
+const (
+	HighMPKI   MPKIClass = "High"
+	MediumMPKI MPKIClass = "Medium"
+	LowMPKI    MPKIClass = "Low"
+)
+
+// Benchmark pairs a synthetic profile with the paper's reported
+// characteristics (Table II) so that the harness can group and label
+// results exactly like the paper.
+type Benchmark struct {
+	Profile      Profile
+	PaperMPKI    float64 // LLC misses per kilo instruction (Table II)
+	PaperGB      float64 // footprint in GB (Table II)
+	Class        MPKIClass
+	SpatialHint  string // "strong"/"weak" per the paper's motivation
+	TemporalHint string
+}
+
+// TableII returns the 14 SPEC CPU2017 stand-ins of the paper's Table II.
+// Footprints follow the table; locality knobs encode each benchmark's
+// published access behaviour (mcf strong/strong, wrf weak-spatial/
+// strong-temporal, xz strong-spatial/weak-temporal, streaming HPC codes
+// spatial, integer codes pointer-heavy).
+func TableII() []Benchmark {
+	gb := func(f float64) uint64 { return uint64(f * float64(addr.GiB)) }
+	return []Benchmark{
+		// --- High MPKI ---
+		{Profile: Profile{Name: "roms", FootprintBytes: gb(10.6), AvgGap: 6, RunMean: 48,
+			HotFraction: 0.30, HotProbability: 0.30, WriteFraction: 0.33, PhaseAccesses: 1 << 22, InitSweep: true},
+			PaperMPKI: 31.9, PaperGB: 10.6, Class: HighMPKI, SpatialHint: "strong", TemporalHint: "weak"},
+		{Profile: Profile{Name: "lbm", FootprintBytes: gb(5.1), AvgGap: 6, RunMean: 64,
+			HotFraction: 0.25, HotProbability: 0.25, WriteFraction: 0.45, PhaseAccesses: 1 << 22, InitSweep: true},
+			PaperMPKI: 31.4, PaperGB: 5.1, Class: HighMPKI, SpatialHint: "strong", TemporalHint: "weak"},
+		{Profile: Profile{Name: "bwaves", FootprintBytes: gb(7.5), AvgGap: 8, RunMean: 40,
+			HotFraction: 0.20, HotProbability: 0.45, WriteFraction: 0.30, PhaseAccesses: 1 << 22, InitSweep: true},
+			PaperMPKI: 20.4, PaperGB: 7.5, Class: HighMPKI, SpatialHint: "strong", TemporalHint: "medium"},
+		{Profile: Profile{Name: "wrf", FootprintBytes: gb(2.7), AvgGap: 8, RunMean: 1.3,
+			HotFraction: 0.04, HotProbability: 0.80, WriteFraction: 0.30, PhaseAccesses: 1 << 23, InitSweep: true, ScatteredHot: true},
+			PaperMPKI: 18.5, PaperGB: 2.7, Class: HighMPKI, SpatialHint: "weak", TemporalHint: "strong"},
+
+		// --- Medium MPKI ---
+		{Profile: Profile{Name: "xalancbmk", FootprintBytes: gb(0.6), AvgGap: 10, RunMean: 2,
+			HotFraction: 0.08, HotProbability: 0.70, WriteFraction: 0.25, PhaseAccesses: 1 << 22, InitSweep: true, ScatteredHot: true},
+			PaperMPKI: 16.9, PaperGB: 0.6, Class: MediumMPKI, SpatialHint: "weak", TemporalHint: "strong"},
+		{Profile: Profile{Name: "mcf", FootprintBytes: gb(0.2), AvgGap: 10, RunMean: 32,
+			HotFraction: 0.10, HotProbability: 0.85, WriteFraction: 0.25, PhaseAccesses: 1 << 23, InitSweep: true},
+			PaperMPKI: 16.1, PaperGB: 0.2, Class: MediumMPKI, SpatialHint: "strong", TemporalHint: "strong"},
+		{Profile: Profile{Name: "cam4", FootprintBytes: gb(10.8), AvgGap: 14, RunMean: 24,
+			HotFraction: 0.15, HotProbability: 0.50, WriteFraction: 0.30, PhaseAccesses: 1 << 22, InitSweep: true},
+			PaperMPKI: 13.8, PaperGB: 10.8, Class: MediumMPKI, SpatialHint: "strong", TemporalHint: "medium"},
+		{Profile: Profile{Name: "cactuBSSN", FootprintBytes: gb(2.9), AvgGap: 14, RunMean: 28,
+			HotFraction: 0.12, HotProbability: 0.60, WriteFraction: 0.35, PhaseAccesses: 1 << 22, InitSweep: true},
+			PaperMPKI: 12.2, PaperGB: 2.9, Class: MediumMPKI, SpatialHint: "strong", TemporalHint: "medium"},
+
+		// --- Low MPKI ---
+		{Profile: Profile{Name: "fotonik3d", FootprintBytes: gb(0.2), AvgGap: 40, RunMean: 32,
+			HotFraction: 0.05, HotProbability: 0.90, WriteFraction: 0.30, PhaseAccesses: 0, InitSweep: true},
+			PaperMPKI: 2.0, PaperGB: 0.2, Class: LowMPKI, SpatialHint: "strong", TemporalHint: "strong"},
+		{Profile: Profile{Name: "x264", FootprintBytes: gb(1.9), AvgGap: 80, RunMean: 16,
+			HotFraction: 0.03, HotProbability: 0.92, WriteFraction: 0.30, PhaseAccesses: 0, InitSweep: true},
+			PaperMPKI: 0.9, PaperGB: 1.9, Class: LowMPKI, SpatialHint: "medium", TemporalHint: "strong"},
+		{Profile: Profile{Name: "nab", FootprintBytes: gb(0.9), AvgGap: 90, RunMean: 8,
+			HotFraction: 0.02, HotProbability: 0.94, WriteFraction: 0.25, PhaseAccesses: 0, InitSweep: true},
+			PaperMPKI: 0.8, PaperGB: 0.9, Class: LowMPKI, SpatialHint: "medium", TemporalHint: "strong"},
+		{Profile: Profile{Name: "namd", FootprintBytes: gb(1.9), AvgGap: 120, RunMean: 12,
+			HotFraction: 0.02, HotProbability: 0.95, WriteFraction: 0.30, PhaseAccesses: 0, InitSweep: true},
+			PaperMPKI: 0.5, PaperGB: 1.9, Class: LowMPKI, SpatialHint: "medium", TemporalHint: "strong"},
+		{Profile: Profile{Name: "xz", FootprintBytes: gb(7.2), AvgGap: 160, RunMean: 56,
+			HotFraction: 0.30, HotProbability: 0.15, WriteFraction: 0.35, PhaseAccesses: 1 << 22, InitSweep: true},
+			PaperMPKI: 0.4, PaperGB: 7.2, Class: LowMPKI, SpatialHint: "strong", TemporalHint: "weak"},
+		{Profile: Profile{Name: "leela", FootprintBytes: gb(0.1), AvgGap: 220, RunMean: 4,
+			HotFraction: 0.01, HotProbability: 0.97, WriteFraction: 0.25, PhaseAccesses: 0, InitSweep: true, ScatteredHot: true},
+			PaperMPKI: 0.1, PaperGB: 0.1, Class: LowMPKI, SpatialHint: "weak", TemporalHint: "strong"},
+	}
+}
+
+// ByName returns the Table II benchmark with the given name.
+func ByName(name string) (Benchmark, error) {
+	for _, b := range TableII() {
+		if b.Profile.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("trace: unknown benchmark %q", name)
+}
+
+// Names lists all Table II benchmark names in paper order.
+func Names() []string {
+	bs := TableII()
+	out := make([]string, len(bs))
+	for i, b := range bs {
+		out[i] = b.Profile.Name
+	}
+	return out
+}
+
+// Scale divides the benchmark's footprint by factor, used together with a
+// config.System scaled by the same factor so that footprint-to-capacity
+// ratios (and therefore caching, migration and footprint-pressure
+// behaviour) match the full-size system.
+func (b Benchmark) Scale(factor uint64) Benchmark {
+	out := b
+	out.Profile.FootprintBytes = b.Profile.FootprintBytes / factor
+	if out.Profile.FootprintBytes < 64*addr.KiB {
+		out.Profile.FootprintBytes = 64 * addr.KiB
+	}
+	// Keep hot-set rotation cadence proportional to footprint so that the
+	// scaled workload drifts at the same relative rate.
+	if b.Profile.PhaseAccesses > 0 {
+		pa := b.Profile.PhaseAccesses / factor
+		if pa < 1<<14 {
+			pa = 1 << 14
+		}
+		out.Profile.PhaseAccesses = pa
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+// Package trace produces the memory access streams that drive the
+// simulator. Because SPEC CPU2017 traces are not redistributable, the
+// package provides synthetic generators parameterized by footprint, memory
+// intensity, spatial locality (run lengths) and temporal locality (hot-set
+// reuse), with one named profile per benchmark in the paper's Table II.
+// Generated streams can also be recorded to and replayed from a compact
+// binary format.
+package trace
+
+import (
+	"repro/internal/addr"
+)
+
+// Access is one memory reference of the workload.
+type Access struct {
+	Addr  addr.Addr // byte address in the flat OS-visible address space
+	Write bool
+	Gap   uint32 // instructions executed since the previous access
+}
+
+// Stream yields a sequence of accesses. Next returns false when the
+// stream is exhausted.
+type Stream interface {
+	Next() (Access, bool)
+}
+
+// Limit wraps a stream and cuts it off after n accesses.
+type Limit struct {
+	S Stream
+	N uint64
+}
+
+// Next implements Stream.
+func (l *Limit) Next() (Access, bool) {
+	if l.N == 0 {
+		return Access{}, false
+	}
+	l.N--
+	return l.S.Next()
+}
+
+// Offset shifts every address of a stream by a fixed delta — the
+// simplest model of distinct address spaces when co-running
+// multi-programmed workloads on a multi-core system.
+type Offset struct {
+	S     Stream
+	Delta addr.Addr
+}
+
+// Next implements Stream.
+func (o *Offset) Next() (Access, bool) {
+	a, ok := o.S.Next()
+	if !ok {
+		return Access{}, false
+	}
+	a.Addr += o.Delta
+	return a, true
+}
+
+// Concat replays streams back to back, which models distinct program
+// phases (used by the adaptive-ratio example).
+type Concat struct {
+	Streams []Stream
+	idx     int
+}
+
+// Next implements Stream.
+func (c *Concat) Next() (Access, bool) {
+	for c.idx < len(c.Streams) {
+		a, ok := c.Streams[c.idx].Next()
+		if ok {
+			return a, true
+		}
+		c.idx++
+	}
+	return Access{}, false
+}
+
+// rng is a deterministic xorshift64* generator. The simulator must be
+// reproducible run to run, and a local implementation keeps streams stable
+// regardless of stdlib changes.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &rng{s: seed}
+}
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545f4914f6cdd1d
+}
+
+// uint64n returns a uniform value in [0, n).
+func (r *rng) uint64n(n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	return r.next() % n
+}
+
+// float64 returns a uniform value in [0, 1).
+func (r *rng) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// geometric returns a sample >= 1 with the given mean (mean >= 1).
+func (r *rng) geometric(mean float64) uint64 {
+	if mean <= 1 {
+		return 1
+	}
+	p := 1 / mean
+	n := uint64(1)
+	for r.float64() > p && n < uint64(mean*16) {
+		n++
+	}
+	return n
+}
