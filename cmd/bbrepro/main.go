@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/harness"
@@ -36,6 +37,7 @@ func main() {
 		experiment = flag.String("experiment", "all", "which experiment to run (table1,table2,fig1,fig6,fig7,fig8,mal,mix,metadata,overfetch,all)")
 		scale      = flag.Uint64("scale", 128, "capacity scale factor versus Table I")
 		accesses   = flag.Uint64("accesses", 1_500_000, "memory references per benchmark run")
+		parallel   = flag.Int("parallel", runtime.NumCPU(), "worker goroutines per sweep (results are identical at any value)")
 		verbose    = flag.Bool("v", false, "log per-run progress")
 		csvDir     = flag.String("csv", "", "also write raw results as CSV into this directory")
 		plot       = flag.Bool("plot", false, "render figure panels as ASCII bar charts")
@@ -45,6 +47,7 @@ func main() {
 	h := harness.New()
 	h.Scale = *scale
 	h.Accesses = *accesses
+	h.Parallel = *parallel
 	if *verbose {
 		h.Progress = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
@@ -101,6 +104,11 @@ func main() {
 			return err
 		}
 		fmt.Println(harness.Fig6Table(res))
+		if *csvDir != "" {
+			return writeCSV(*csvDir+"/fig6_sweep.csv", func(w *os.File) error {
+				return harness.WriteFig6CSV(w, res)
+			})
+		}
 		return nil
 	})
 	run("fig7", func() error {
@@ -116,6 +124,11 @@ func main() {
 				labels[i], values[i] = r.Label, r.Speedup
 			}
 			fmt.Println(metrics.BarChart("Figure 7 (geomean speedup)", labels, values, 40))
+		}
+		if *csvDir != "" {
+			return writeCSV(*csvDir+"/fig7_factors.csv", func(w *os.File) error {
+				return harness.WriteFig7CSV(w, res)
+			})
 		}
 		return nil
 	})

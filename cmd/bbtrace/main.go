@@ -11,8 +11,10 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
 
+	"repro/internal/runner"
 	"repro/internal/trace"
 )
 
@@ -113,15 +115,25 @@ func benchTable(args []string) {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	n := fs.Uint64("n", 300_000, "accesses to characterize per profile")
 	scale := fs.Uint64("scale", 128, "footprint scale factor")
+	parallel := fs.Int("parallel", runtime.NumCPU(), "worker goroutines (output is identical at any value)")
 	fs.Parse(args)
+	// One profile per cell; each cell owns its generator, so the table is
+	// identical at any -parallel setting.
+	chars, err := runner.Map(*parallel, trace.TableII(),
+		func(_ int, b trace.Benchmark) (trace.Characteristics, error) {
+			gen, err := trace.NewSynthetic(b.Scale(*scale).Profile)
+			if err != nil {
+				return trace.Characteristics{}, err
+			}
+			return trace.Characterize(gen, *n), nil
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("%-11s %10s %10s %9s %9s %9s\n",
 		"bench", "accesses", "footprint", "seq%", "reuse%", "write%")
-	for _, b := range trace.TableII() {
-		gen, err := trace.NewSynthetic(b.Scale(*scale).Profile)
-		if err != nil {
-			log.Fatal(err)
-		}
-		c := trace.Characterize(gen, *n)
+	for i, b := range trace.TableII() {
+		c := chars[i]
 		fmt.Printf("%-11s %10d %9.1fM %8.1f%% %8.1f%% %8.1f%%\n",
 			b.Profile.Name, c.Accesses, float64(c.FootprintB)/1e6,
 			c.SeqFraction*100, c.ReuseFraction*100,

@@ -1,9 +1,12 @@
 // Command bumblebee-sim runs one workload on one hybrid memory design and
 // prints the full result: IPC, MPKI, serve rates, movement counters,
-// per-device traffic and dynamic energy.
+// per-device traffic and dynamic energy. Comma-separated -design/-bench
+// lists fan the whole matrix out across -parallel workers and print one
+// compact row per run instead.
 //
 //	bumblebee-sim -design bumblebee -bench mcf
 //	bumblebee-sim -design hybrid2 -bench roms -scale 64 -accesses 2000000
+//	bumblebee-sim -design bumblebee,hybrid2 -bench mcf,wrf,xz -parallel 8
 //	bumblebee-sim -design bumblebee -trace run.bbtr
 //
 // Designs: bumblebee, hybrid2, chameleon, banshee, alloy, unison, c-only,
@@ -15,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/cache"
@@ -23,18 +27,20 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/energy"
 	"repro/internal/harness"
+	"repro/internal/runner"
 	"repro/internal/trace"
 )
 
 func main() {
 	var (
-		design    = flag.String("design", "bumblebee", "memory design to simulate")
-		bench     = flag.String("bench", "mcf", "Table II benchmark name")
+		design    = flag.String("design", "bumblebee", "memory design to simulate (comma-separated list runs a matrix)")
+		bench     = flag.String("bench", "mcf", "Table II benchmark name (comma-separated list runs a matrix)")
 		traceFile = flag.String("trace", "", "replay a recorded .bbtr trace instead of a benchmark")
 		scale     = flag.Uint64("scale", 128, "capacity scale factor versus Table I")
 		accesses  = flag.Uint64("accesses", 1_000_000, "memory references to simulate")
 		blockKB   = flag.Uint64("block", 2, "Bumblebee block size in KB")
 		pageKB    = flag.Uint64("page", 64, "Bumblebee page size in KB")
+		parallel  = flag.Int("parallel", runtime.NumCPU(), "worker goroutines for matrix runs")
 		inspect   = flag.Int("inspect", -1, "dump this remapping set's state after the run (Bumblebee only)")
 	)
 	flag.Parse()
@@ -42,9 +48,20 @@ func main() {
 	h := harness.New()
 	h.Scale = *scale
 	h.Accesses = *accesses
+	h.Parallel = *parallel
 	sys := h.System()
 	sys.BlockBytes = *blockKB * 1024
 	sys.PageBytes = *pageKB * 1024
+
+	designs := strings.Split(*design, ",")
+	benches := strings.Split(*bench, ",")
+	if *traceFile == "" && (len(designs) > 1 || len(benches) > 1) {
+		if *inspect >= 0 {
+			log.Fatal("bumblebee-sim: -inspect needs a single design and benchmark")
+		}
+		runMatrix(h, sys, designs, benches)
+		return
+	}
 
 	mem, err := harness.Build(config.Design(*design), sys)
 	if err != nil {
@@ -71,7 +88,11 @@ func main() {
 			log.Fatalf("bumblebee-sim: unknown benchmark %q (known: %s)",
 				*bench, strings.Join(trace.Names(), ", "))
 		}
-		gen, err := trace.NewSynthetic(b.Scale(h.Scale).Profile)
+		// Same seed-derivation rule as the harness sweeps, so a single run
+		// reproduces the corresponding matrix cell exactly.
+		p := b.Scale(h.Scale).Profile
+		p.Seed = runner.Seed(mem.Name(), p.Name)
+		gen, err := trace.NewSynthetic(p)
 		if err != nil {
 			log.Fatalf("bumblebee-sim: %v", err)
 		}
@@ -128,5 +149,37 @@ func main() {
 		}
 	} else if *inspect >= 0 {
 		log.Fatalf("bumblebee-sim: -inspect needs a Bumblebee-family design")
+	}
+}
+
+// runMatrix fans a (design × benchmark) matrix out across the harness
+// worker pool and prints one compact row per run, in matrix order.
+func runMatrix(h *harness.Harness, sys config.System, designs, benches []string) {
+	rows, err := runner.Matrix(h.Parallel, designs, benches,
+		func(d, bench string) (harness.RunResult, error) {
+			b, err := trace.ByName(bench)
+			if err != nil {
+				return harness.RunResult{}, fmt.Errorf("unknown benchmark %q (known: %s)",
+					bench, strings.Join(trace.Names(), ", "))
+			}
+			mem, err := harness.Build(config.Design(d), sys)
+			if err != nil {
+				return harness.RunResult{}, err
+			}
+			return h.Run(sys, mem, b.Scale(h.Scale))
+		})
+	if err != nil {
+		log.Fatalf("bumblebee-sim: %v", err)
+	}
+	fmt.Printf("%-11s %-11s %8s %8s %10s %8s %10s %10s\n",
+		"design", "bench", "IPC", "MPKI", "misslat", "HBM%", "HBM MB", "DRAM MB")
+	for di := range designs {
+		for bi := range benches {
+			r := rows[di][bi]
+			fmt.Printf("%-11s %-11s %8.3f %8.1f %10.0f %7.1f%% %10.1f %10.1f\n",
+				r.Design, r.Bench, r.CPU.IPC(), r.CPU.MPKI(), r.CPU.AvgMissLatency(),
+				r.Counters.HBMServeRate()*100,
+				float64(r.HBMBytes)/1e6, float64(r.DRAMBytes)/1e6)
+		}
 	}
 }

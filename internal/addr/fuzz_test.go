@@ -1,0 +1,116 @@
+package addr
+
+import "testing"
+
+// fuzzGeometry derives a valid Geometry from raw fuzz inputs, or reports
+// false when the inputs describe a shape NewGeometry rightly rejects. The
+// mapping keeps the interesting irregular cases reachable: non-power-of-two
+// page sizes (the paper's 96 KB point), capacities that do not divide into
+// sets, and single-way sets.
+func fuzzGeometry(blockLog, pagesPerBlock, dramPages, hbmPages uint16, ways uint8) (*Geometry, bool) {
+	blockSize := uint64(64) << (blockLog % 7)              // 64 B .. 4 KB
+	pageSize := blockSize * (1 + uint64(pagesPerBlock)%96) // 1..96 blocks per page
+	dramBytes := pageSize * (uint64(dramPages)%2048 + 1)
+	hbmBytes := pageSize * (uint64(hbmPages)%512 + 1)
+	w := uint64(ways)%16 + 1
+	g, err := NewGeometry(pageSize, blockSize, dramBytes, hbmBytes, w)
+	if err != nil {
+		return nil, false
+	}
+	return g, true
+}
+
+// FuzzDecompose checks the address → page/block/offset decomposition
+// identities for arbitrary addresses and geometry shapes.
+func FuzzDecompose(f *testing.F) {
+	f.Add(uint16(5), uint16(31), uint16(100), uint16(10), uint8(8), uint64(123456))
+	f.Add(uint16(0), uint16(0), uint16(0), uint16(0), uint8(0), uint64(0))
+	f.Add(uint16(6), uint16(95), uint16(2047), uint16(511), uint8(15), uint64(1)<<40)
+	f.Fuzz(func(t *testing.T, blockLog, pagesPerBlock, dramPages, hbmPages uint16, ways uint8, rawAddr uint64) {
+		g, ok := fuzzGeometry(blockLog, pagesPerBlock, dramPages, hbmPages, ways)
+		if !ok {
+			t.Skip()
+		}
+		a := Addr(rawAddr % g.TotalBytes())
+
+		// A page decomposes into whole blocks.
+		if g.PageSize%g.BlockSize != 0 {
+			t.Fatalf("page %d not a multiple of block %d", g.PageSize, g.BlockSize)
+		}
+		// Page/offset reassembly.
+		p := g.PageOf(a)
+		if got := Addr(p*g.PageSize + g.PageOffset(a)); got != a {
+			t.Errorf("page %d + offset %d != addr %d", p, g.PageOffset(a), a)
+		}
+		if g.PageBase(a) != g.PageAddr(p) {
+			t.Errorf("PageBase %d != PageAddr(PageOf) %d", g.PageBase(a), g.PageAddr(p))
+		}
+		// Block decomposition stays inside the page.
+		if bi := g.BlockInPage(a); bi >= g.BlocksPerPage() {
+			t.Errorf("block-in-page %d >= blocks per page %d", bi, g.BlocksPerPage())
+		}
+		if got := g.PageBase(a) + Addr(g.BlockInPage(a)*g.BlockSize); got != g.BlockBase(a) {
+			t.Errorf("page base + block-in-page != block base (%d != %d)", got, g.BlockBase(a))
+		}
+		if g.BlockBase(a) > a || a-g.BlockBase(a) >= Addr(g.BlockSize) {
+			t.Errorf("addr %d outside its block [%d, +%d)", a, g.BlockBase(a), g.BlockSize)
+		}
+		// Global block number is consistent with the page decomposition.
+		if got := g.BlockOf(g.BlockBase(a)); got != g.BlockOf(a) {
+			t.Errorf("block base changes block number: %d vs %d", got, g.BlockOf(a))
+		}
+		// HBM/DRAM classification matches the capacity split.
+		if g.IsHBMPage(p) != (uint64(a) >= g.DRAMBytes) {
+			t.Errorf("page %d HBM classification inconsistent with address %d", p, a)
+		}
+	})
+}
+
+// FuzzRoundTrip checks that the page ↔ (set, slot) mapping round-trips for
+// every page of arbitrary geometry shapes: SlotOf/SetOf must invert
+// through PageOfSlot, slots must stay in range, and HBM/DRAM slots must
+// map back to the matching device frames.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint16(5), uint16(31), uint16(100), uint16(10), uint8(8), uint64(7))
+	f.Add(uint16(3), uint16(1), uint16(1), uint16(1), uint8(1), uint64(0))
+	f.Add(uint16(6), uint16(47), uint16(333), uint16(77), uint8(5), uint64(1)<<33)
+	f.Fuzz(func(t *testing.T, blockLog, pagesPerBlock, dramPages, hbmPages uint16, ways uint8, rawPage uint64) {
+		g, ok := fuzzGeometry(blockLog, pagesPerBlock, dramPages, hbmPages, ways)
+		if !ok {
+			t.Skip()
+		}
+		totalPages := g.DRAMPages() + g.HBMPages()
+		p := rawPage % totalPages
+
+		set, slot := g.SetOf(p), g.SlotOf(p)
+		if set >= g.Sets() {
+			t.Fatalf("set %d >= sets %d", set, g.Sets())
+		}
+		if slot >= g.PagesPerSet() {
+			t.Fatalf("slot %d >= pages per set %d", slot, g.PagesPerSet())
+		}
+		// The core identity: (set, slot) names exactly one page.
+		if back := g.PageOfSlot(set, slot); back != p {
+			t.Fatalf("round trip failed: page %d -> (set %d, slot %d) -> page %d", p, set, slot, back)
+		}
+		// Device classification agrees between page- and slot-space.
+		if g.IsHBMPage(p) != g.IsHBMSlot(slot) {
+			t.Errorf("page %d: IsHBMPage %v != IsHBMSlot(%d) %v",
+				p, g.IsHBMPage(p), slot, g.IsHBMSlot(slot))
+		}
+		// Backing frames stay inside their device.
+		if g.IsHBMSlot(slot) {
+			if frame := g.HBMFrameOfSlot(set, slot); frame >= g.HBMPages() {
+				t.Errorf("HBM frame %d >= %d", frame, g.HBMPages())
+			}
+		} else {
+			if frame := g.DRAMFrameOfSlot(set, slot); frame >= g.DRAMPages() {
+				t.Errorf("DRAM frame %d >= %d", frame, g.DRAMPages())
+			}
+		}
+		// PLE width covers every slot index.
+		if maxSlot := g.PagesPerSet() - 1; maxSlot>>g.PLEBits() != 0 {
+			t.Errorf("PLE bits %d cannot encode slot %d", g.PLEBits(), maxSlot)
+		}
+	})
+}

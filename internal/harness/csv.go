@@ -46,6 +46,47 @@ func WriteRunsCSV(w io.Writer, runs []RunResult) error {
 	return cw.Error()
 }
 
+// WriteFig6CSV dumps the Figure 6 design-space sweep as CSV: one row per
+// block/page configuration in figure order. The emitter is fully
+// determined by its input — the determinism regression tests compare its
+// bytes across -parallel settings.
+func WriteFig6CSV(w io.Writer, results []Fig6Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"config", "block_kb", "page_kb", "speedup", "metadata_bytes"}); err != nil {
+		return err
+	}
+	for _, r := range results {
+		row := []string{
+			r.Config.Label(),
+			strconv.FormatUint(r.Config.BlockKB, 10),
+			strconv.FormatUint(r.Config.PageKB, 10),
+			strconv.FormatFloat(r.Speedup, 'g', 17, 64),
+			strconv.FormatUint(r.MetadataBytes, 10),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig7CSV dumps the Figure 7 factor breakdown as CSV: one row per
+// variant bar in paper order.
+func WriteFig7CSV(w io.Writer, results []Fig7Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"variant", "speedup"}); err != nil {
+		return err
+	}
+	for _, r := range results {
+		if err := cw.Write([]string{r.Label, strconv.FormatFloat(r.Speedup, 'g', 17, 64)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
 // WriteTableCSV dumps a metrics.Table (one figure panel) as CSV.
 func WriteTableCSV(w io.Writer, t *metrics.Table) error {
 	cw := csv.NewWriter(w)

@@ -1,0 +1,149 @@
+package harness
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The sweep determinism contract: the same sweep produces byte-identical
+// CSV output at -parallel 1 and -parallel 8, because every cell derives
+// its RNG seed from the cell's identity and results assemble in matrix
+// order. These tests run the real Fig 6/7 sweeps at a tiny scale.
+
+func determinismHarness(parallel int) *Harness {
+	return &Harness{Scale: 1024, Accesses: 10000, Parallel: parallel}
+}
+
+func TestFig6DeterministicAcrossParallelism(t *testing.T) {
+	var got [2][]byte
+	for i, parallel := range []int{1, 8} {
+		res, err := determinismHarness(parallel).Fig6()
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		var buf bytes.Buffer
+		if err := WriteFig6CSV(&buf, res); err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		got[i] = buf.Bytes()
+	}
+	if !bytes.Equal(got[0], got[1]) {
+		t.Errorf("fig6 CSV differs between -parallel 1 and -parallel 8:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			got[0], got[1])
+	}
+}
+
+func TestFig7DeterministicAcrossParallelism(t *testing.T) {
+	var got [2][]byte
+	for i, parallel := range []int{1, 8} {
+		h := determinismHarness(parallel)
+		h.Accesses = 8000
+		res, err := h.Fig7()
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		var buf bytes.Buffer
+		if err := WriteFig7CSV(&buf, res); err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		got[i] = buf.Bytes()
+	}
+	if !bytes.Equal(got[0], got[1]) {
+		t.Errorf("fig7 CSV differs between -parallel 1 and -parallel 8:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			got[0], got[1])
+	}
+}
+
+// Golden-file regression tests for the CSV emitters themselves: fixed
+// inputs must render to exactly the committed bytes, so format drift is a
+// deliberate, reviewed change. Regenerate with -update.
+
+var update = os.Getenv("UPDATE_GOLDEN") != ""
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (set UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func fig6Fixture() []Fig6Result {
+	return []Fig6Result{
+		{Config: Fig6Config{BlockKB: 1, PageKB: 64}, Speedup: 2.25, MetadataBytes: 559104},
+		{Config: Fig6Config{BlockKB: 2, PageKB: 64}, Speedup: 2.625, MetadataBytes: 342016},
+		{Config: Fig6Config{BlockKB: 4, PageKB: 128}, Speedup: 2.0625, MetadataBytes: 188416},
+	}
+}
+
+func TestWriteFig6CSVGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFig6CSV(&buf, fig6Fixture()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig6_emitter.golden.csv", buf.Bytes())
+	// Sanity on the format independent of the golden bytes.
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want header+3", len(lines))
+	}
+	if lines[0] != "config,block_kb,page_kb,speedup,metadata_bytes" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "1-64,1,64,2.25,") {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestWriteFig7CSVGolden(t *testing.T) {
+	res := []Fig7Result{
+		{Label: "C-Only", Speedup: 1.5},
+		{Label: "M-Only", Speedup: 1.25},
+		{Label: "Bumblebee", Speedup: 2.75},
+	}
+	var buf bytes.Buffer
+	if err := WriteFig7CSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig7_emitter.golden.csv", buf.Bytes())
+	if !strings.HasPrefix(buf.String(), "variant,speedup\nC-Only,1.5\n") {
+		t.Errorf("fig7 csv wrong:\n%s", buf.String())
+	}
+}
+
+// The seed rule itself: the same (design, benchmark) cell reproduces
+// bit-identically run-to-run, and run results do not depend on which
+// other cells ran first.
+func TestRunSeedReproducible(t *testing.T) {
+	h := tiny()
+	b := h.Benchmarks()[5] // mcf
+	r1, err := h.RunDesign("bumblebee", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleave an unrelated run; it must not perturb the next one.
+	if _, err := h.RunDesign("hybrid2", b); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := h.RunDesign("bumblebee", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.CPU != r2.CPU || r1.Counters != r2.Counters ||
+		r1.HBMBytes != r2.HBMBytes || r1.DRAMBytes != r2.DRAMBytes {
+		t.Errorf("repeated cell not bit-identical:\n%+v\nvs\n%+v", r1, r2)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/addr"
 	"repro/internal/cache"
 	"repro/internal/metrics"
+	"repro/internal/runner"
 	"repro/internal/trace"
 )
 
@@ -113,26 +114,27 @@ type Fig1Result struct {
 	Shares    []float64 // one share per Fig1Buckets entry
 }
 
-// Fig1 reproduces Figure 1.
+// Fig1 reproduces Figure 1. Each (benchmark, line-size) cell owns its
+// cache model, hierarchy and generator, so the 3×6 matrix fans out across
+// the harness worker pool with no shared state.
 func (h *Harness) Fig1() ([]Fig1Result, error) {
 	sys := h.System()
-	var out []Fig1Result
-	for _, name := range Fig1Benchmarks {
-		b, err := trace.ByName(name)
-		if err != nil {
-			return nil, err
-		}
-		b = b.Scale(h.Scale)
-		for _, ls := range Fig1LineSizes {
+	rows, err := runner.Matrix(h.workers(), Fig1Benchmarks, Fig1LineSizes,
+		func(name string, ls uint64) (Fig1Result, error) {
+			b, err := trace.ByName(name)
+			if err != nil {
+				return Fig1Result{}, err
+			}
+			b = b.Scale(h.Scale)
 			hist := metrics.NewHistogram(5, 10, 15, 20)
 			chbm := newFig1Cache(sys.HBM.CapacityBytes, ls, hist)
 			hier, err := cache.NewHierarchy(sys.Caches)
 			if err != nil {
-				return nil, err
+				return Fig1Result{}, err
 			}
 			gen, err := trace.NewSynthetic(b.Profile)
 			if err != nil {
-				return nil, err
+				return Fig1Result{}, err
 			}
 			for i := uint64(0); i < h.Accesses; i++ {
 				acc, ok := gen.Next()
@@ -144,9 +146,15 @@ func (h *Harness) Fig1() ([]Fig1Result, error) {
 				}
 			}
 			chbm.drain()
-			out = append(out, Fig1Result{Bench: name, LineBytes: ls, Shares: hist.Shares()})
 			h.logf("fig1 %-4s %6dB done", name, ls)
-		}
+			return Fig1Result{Bench: name, LineBytes: ls, Shares: hist.Shares()}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig1Result
+	for _, row := range rows {
+		out = append(out, row...)
 	}
 	return out, nil
 }

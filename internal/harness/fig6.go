@@ -7,6 +7,8 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/runner"
+	"repro/internal/trace"
 )
 
 // Figure 6: the block-size/page-size design-space sweep. The paper sweeps
@@ -42,44 +44,50 @@ type Fig6Result struct {
 	MetadataBytes uint64
 }
 
-// Fig6 reproduces the design-space exploration.
+// Fig6 reproduces the design-space exploration. The 9-config × 14-bench
+// matrix fans out across the harness worker pool; per-config geomeans are
+// assembled in figure order afterwards.
 func (h *Harness) Fig6() ([]Fig6Result, error) {
 	bs := h.Benchmarks()
 	base, err := h.runBaseline(bs)
 	if err != nil {
 		return nil, err
 	}
-	var out []Fig6Result
-	for _, cfg := range Fig6Configs() {
-		sys := h.System()
-		sys.BlockBytes = cfg.BlockKB * addr.KiB
-		sys.PageBytes = cfg.PageKB * addr.KiB
-		var speedups []float64
-		for _, b := range bs {
+	cfgs := Fig6Configs()
+	speedups, err := runner.Matrix(h.workers(), cfgs, bs,
+		func(cfg Fig6Config, b trace.Benchmark) (float64, error) {
+			sys := h.System()
+			sys.BlockBytes = cfg.BlockKB * addr.KiB
+			sys.PageBytes = cfg.PageKB * addr.KiB
 			mem, err := Build(config.DesignBumblebee, sys)
 			if err != nil {
-				return nil, fmt.Errorf("fig6 %s: %w", cfg.Label(), err)
+				return 0, fmt.Errorf("fig6 %s: %w", cfg.Label(), err)
 			}
 			r, err := h.Run(sys, mem, b)
 			if err != nil {
-				return nil, err
+				return 0, fmt.Errorf("fig6 %s/%s: %w", cfg.Label(), b.Profile.Name, err)
 			}
-			speedups = append(speedups, r.CPU.IPC()/base.ipc[b.Profile.Name])
-		}
-		gm, err := metrics.Geomean(speedups)
+			return r.CPU.IPC() / base.ipc[b.Profile.Name], nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig6Result
+	for ci, cfg := range cfgs {
+		gm, err := metrics.Geomean(speedups[ci])
 		if err != nil {
 			return nil, err
 		}
 		// Metadata is reported for the full-scale Table I capacities —
 		// the SRAM-budget constraint that picks the design point.
 		full := config.Default()
-		full.BlockBytes = sys.BlockBytes
-		full.PageBytes = sys.PageBytes
+		full.BlockBytes = cfg.BlockKB * addr.KiB
+		full.PageBytes = cfg.PageKB * addr.KiB
 		geom, err := full.Geometry()
 		if err != nil {
 			return nil, err
 		}
-		md := core.Metadata(geom, sys.Bumblebee.HotQueueDepth)
+		md := core.Metadata(geom, full.Bumblebee.HotQueueDepth)
 		out = append(out, Fig6Result{Config: cfg, Speedup: gm, MetadataBytes: md.TotalBytes()})
 		h.logf("fig6 %-6s speedup %.3f metadata %dKB", cfg.Label(), gm, md.TotalBytes()/addr.KiB)
 	}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"repro/internal/metrics"
+	"repro/internal/runner"
+	"repro/internal/trace"
 )
 
 // Figure 7: the performance-factor breakdown. Ten Bumblebee variants
@@ -17,30 +19,35 @@ type Fig7Result struct {
 	Speedup float64
 }
 
-// Fig7 reproduces the factor breakdown.
+// Fig7 reproduces the factor breakdown, fanning the 10-variant × 14-bench
+// matrix across the harness worker pool.
 func (h *Harness) Fig7() ([]Fig7Result, error) {
 	bs := h.Benchmarks()
 	base, err := h.runBaseline(bs)
 	if err != nil {
 		return nil, err
 	}
-	var out []Fig7Result
-	for _, v := range Fig7Variants() {
-		var speedups []float64
-		for _, b := range bs {
+	vs := Fig7Variants()
+	speedups, err := runner.Matrix(h.workers(), vs, bs,
+		func(v Variant, b trace.Benchmark) (float64, error) {
 			sys := h.System()
 			v.Apply(&sys)
 			mem, err := Build("bumblebee", sys)
 			if err != nil {
-				return nil, fmt.Errorf("fig7 %s: %w", v.Label, err)
+				return 0, fmt.Errorf("fig7 %s: %w", v.Label, err)
 			}
 			r, err := h.Run(sys, mem, b)
 			if err != nil {
-				return nil, err
+				return 0, fmt.Errorf("fig7 %s/%s: %w", v.Label, b.Profile.Name, err)
 			}
-			speedups = append(speedups, r.CPU.IPC()/base.ipc[b.Profile.Name])
-		}
-		gm, err := metrics.Geomean(speedups)
+			return r.CPU.IPC() / base.ipc[b.Profile.Name], nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig7Result
+	for vi, v := range vs {
+		gm, err := metrics.Geomean(speedups[vi])
 		if err != nil {
 			return nil, err
 		}

@@ -5,6 +5,8 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/metrics"
+	"repro/internal/runner"
+	"repro/internal/trace"
 )
 
 // Figure 8: Bumblebee against the five state-of-the-art designs, grouped
@@ -55,16 +57,29 @@ func (h *Harness) Fig8() (*Fig8Result, error) {
 		DRAM:   &metrics.Table{Title: "Figure 8(c): normalized off-chip DRAM traffic", Columns: Fig8Groups},
 		Energy: &metrics.Table{Title: "Figure 8(d): normalized memory dynamic energy", Columns: Fig8Groups},
 	}
-	for _, d := range Fig8Designs {
+	runs, err := runner.Matrix(h.workers(), Fig8Designs, bs,
+		func(d config.Design, b trace.Benchmark) (RunResult, error) {
+			r, err := h.RunDesign(d, b)
+			if err != nil {
+				return RunResult{}, fmt.Errorf("fig8 %s/%s: %w", d, b.Profile.Name, err)
+			}
+			h.logf("fig8 %-10s %-10s IPC x%.2f HBM %.2f DRAM %.2f E %.2f",
+				d, b.Profile.Name, r.CPU.IPC()/base.ipc[b.Profile.Name],
+				float64(r.HBMBytes)/float64(base.bytes[b.Profile.Name]),
+				float64(r.DRAMBytes)/float64(base.bytes[b.Profile.Name]),
+				r.Energy.TotalPJ()/base.pj[b.Profile.Name])
+			return r, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for di, d := range Fig8Designs {
 		groupIPC := map[string][]float64{}
 		groupHBM := map[string][]float64{}
 		groupDRAM := map[string][]float64{}
 		groupPJ := map[string][]float64{}
-		for _, b := range bs {
-			r, err := h.RunDesign(d, b)
-			if err != nil {
-				return nil, fmt.Errorf("fig8 %s/%s: %w", d, b.Profile.Name, err)
-			}
+		for bi, b := range bs {
+			r := runs[di][bi]
 			res.PerRun = append(res.PerRun, r)
 			name := b.Profile.Name
 			ipc := r.CPU.IPC() / base.ipc[name]
@@ -77,8 +92,6 @@ func (h *Harness) Fig8() (*Fig8Result, error) {
 				groupDRAM[g] = append(groupDRAM[g], dram)
 				groupPJ[g] = append(groupPJ[g], pj)
 			}
-			h.logf("fig8 %-10s %-10s IPC x%.2f HBM %.2f DRAM %.2f E %.2f",
-				d, name, ipc, hbm, dram, pj)
 		}
 		ipcRow := map[string]float64{}
 		hbmRow := map[string]float64{}

@@ -8,16 +8,24 @@
 // the same factor, so every footprint-to-capacity ratio — and therefore
 // the caching, migration and footprint-pressure behaviour — matches the
 // full-size machine while runs finish in seconds.
+//
+// Every sweep fans its (design, benchmark, config) matrix out across a
+// bounded pool of worker goroutines (see internal/runner). Results are
+// assembled in matrix order and each cell seeds its trace generator from a
+// stable hash of the design and benchmark names, so a sweep's output is
+// bit-identical at any Parallel setting.
 package harness
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/cache"
 	"repro/internal/config"
 	"repro/internal/cpu"
 	"repro/internal/energy"
 	"repro/internal/hmm"
+	"repro/internal/runner"
 	"repro/internal/trace"
 )
 
@@ -25,7 +33,10 @@ import (
 type Harness struct {
 	Scale    uint64 // capacity scale factor vs Table I
 	Accesses uint64 // memory references simulated per benchmark run
+	Parallel int    // worker goroutines per sweep; <= 0 means one per CPU
 	Progress func(format string, args ...any)
+
+	mu sync.Mutex // serializes Progress calls from concurrent workers
 }
 
 // New returns a harness at the default reproduction scale.
@@ -33,10 +44,23 @@ func New() *Harness {
 	return &Harness{Scale: 128, Accesses: 1_500_000}
 }
 
+// logf reports per-run progress. Workers log as cells finish, so line
+// order varies across runs — only the assembled results are deterministic.
 func (h *Harness) logf(format string, args ...any) {
-	if h.Progress != nil {
-		h.Progress(format, args...)
+	if h.Progress == nil {
+		return
 	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.Progress(format, args...)
+}
+
+// workers returns the sweep's worker-pool size.
+func (h *Harness) workers() int {
+	if h.Parallel > 0 {
+		return h.Parallel
+	}
+	return runner.DefaultWorkers()
 }
 
 // System returns the scaled Table I configuration: memory capacities and
@@ -84,12 +108,21 @@ type RunResult struct {
 }
 
 // Run simulates one benchmark on one memory system built for sys.
+//
+// When the benchmark's profile carries no explicit seed, the trace
+// generator is seeded from runner.Seed(design, benchmark) — the sweep
+// determinism rule: a cell's stream depends only on what the cell *is*,
+// never on when or where it ran.
 func (h *Harness) Run(sys config.System, mem hmm.MemSystem, b trace.Benchmark) (RunResult, error) {
 	hier, err := cache.NewHierarchy(sys.Caches)
 	if err != nil {
 		return RunResult{}, err
 	}
-	gen, err := trace.NewSynthetic(b.Profile)
+	p := b.Profile
+	if p.Seed == 0 {
+		p.Seed = runner.Seed(mem.Name(), p.Name)
+	}
+	gen, err := trace.NewSynthetic(p)
 	if err != nil {
 		return RunResult{}, err
 	}
@@ -132,20 +165,27 @@ type baseline struct {
 }
 
 func (h *Harness) runBaseline(bs []trace.Benchmark) (*baseline, error) {
+	runs, err := runner.Map(h.workers(), bs, func(_ int, b trace.Benchmark) (RunResult, error) {
+		r, err := h.RunDesign(config.DesignNoHBM, b)
+		if err != nil {
+			return RunResult{}, fmt.Errorf("baseline %s: %w", b.Profile.Name, err)
+		}
+		h.logf("baseline %-10s IPC %.3f MPKI %5.1f", b.Profile.Name, r.CPU.IPC(), r.CPU.MPKI())
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	out := &baseline{
 		ipc:   make(map[string]float64),
 		bytes: make(map[string]uint64),
 		pj:    make(map[string]float64),
 	}
-	for _, b := range bs {
-		r, err := h.RunDesign(config.DesignNoHBM, b)
-		if err != nil {
-			return nil, fmt.Errorf("baseline %s: %w", b.Profile.Name, err)
-		}
-		out.ipc[b.Profile.Name] = r.CPU.IPC()
-		out.bytes[b.Profile.Name] = r.DRAMBytes
-		out.pj[b.Profile.Name] = r.Energy.TotalPJ()
-		h.logf("baseline %-10s IPC %.3f MPKI %5.1f", b.Profile.Name, r.CPU.IPC(), r.CPU.MPKI())
+	for i, r := range runs {
+		name := bs[i].Profile.Name
+		out.ipc[name] = r.CPU.IPC()
+		out.bytes[name] = r.DRAMBytes
+		out.pj[name] = r.Energy.TotalPJ()
 	}
 	return out, nil
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"repro/internal/config"
+	"repro/internal/runner"
+	"repro/internal/trace"
 )
 
 // Section II-B measures the metadata access latency (MAL) of designs
@@ -22,23 +24,23 @@ type MALResult struct {
 }
 
 // MAL measures the metadata access latency share for every Table II
-// benchmark.
+// benchmark. Each cell runs its benchmark twice (metadata in SRAM, then in
+// HBM) on the same deterministic stream; cells fan out across the pool.
 func (h *Harness) MAL() ([]MALResult, error) {
-	var out []MALResult
-	for _, b := range h.Benchmarks() {
+	return runner.Map(h.workers(), h.Benchmarks(), func(_ int, b trace.Benchmark) (MALResult, error) {
 		sram, err := h.RunDesign(config.DesignBumblebee, b)
 		if err != nil {
-			return nil, err
+			return MALResult{}, fmt.Errorf("mal %s: %w", b.Profile.Name, err)
 		}
 		sysH := h.System()
 		sysH.Bumblebee.MetadataInHBM = true
 		memH, err := Build(config.DesignBumblebee, sysH)
 		if err != nil {
-			return nil, err
+			return MALResult{}, fmt.Errorf("mal %s: %w", b.Profile.Name, err)
 		}
 		hbm, err := h.Run(sysH, memH, b)
 		if err != nil {
-			return nil, err
+			return MALResult{}, fmt.Errorf("mal %s: %w", b.Profile.Name, err)
 		}
 		r := MALResult{
 			Bench:   b.Profile.Name,
@@ -48,10 +50,9 @@ func (h *Harness) MAL() ([]MALResult, error) {
 		if r.HBMLat > 0 && r.HBMLat > r.SRAMLat {
 			r.MALShare = (r.HBMLat - r.SRAMLat) / r.HBMLat
 		}
-		out = append(out, r)
 		h.logf("mal %-10s sram %.0f hbm %.0f share %.1f%%", r.Bench, r.SRAMLat, r.HBMLat, r.MALShare*100)
-	}
-	return out, nil
+		return r, nil
+	})
 }
 
 // MALTable renders the measurement like the paper quotes it.

@@ -6,6 +6,7 @@ import (
 	"repro/internal/addr"
 	"repro/internal/config"
 	"repro/internal/cpu"
+	"repro/internal/runner"
 	"repro/internal/trace"
 )
 
@@ -68,7 +69,8 @@ func (h *Harness) runMix(design config.Design, names []string) ([]cpu.Result, er
 	return cpu.RunMulti(sys.Core, threads, llc, mem)
 }
 
-// Mix runs the workload mix on every Figure 8 design.
+// Mix runs the workload mix on every Figure 8 design, one design per
+// worker (each design's multi-core run owns all of its state).
 func (h *Harness) Mix(names []string) ([]MixResult, error) {
 	if len(names) == 0 {
 		names = DefaultMix
@@ -77,11 +79,10 @@ func (h *Harness) Mix(names []string) ([]MixResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	var out []MixResult
-	for _, d := range Fig8Designs {
+	return runner.Map(h.workers(), Fig8Designs, func(_ int, d config.Design) (MixResult, error) {
 		res, err := h.runMix(d, names)
 		if err != nil {
-			return nil, fmt.Errorf("mix %s: %w", d, err)
+			return MixResult{}, fmt.Errorf("mix %s: %w", d, err)
 		}
 		ws := 0.0
 		for i := range res {
@@ -89,10 +90,9 @@ func (h *Harness) Mix(names []string) ([]MixResult, error) {
 				ws += res[i].IPC() / base[i].IPC()
 			}
 		}
-		out = append(out, MixResult{Design: string(d), PerCore: res, WeightedSpeedup: ws})
 		h.logf("mix %-10s weighted speedup %.2f", d, ws)
-	}
-	return out, nil
+		return MixResult{Design: string(d), PerCore: res, WeightedSpeedup: ws}, nil
+	})
 }
 
 // MixTable renders the mix results.

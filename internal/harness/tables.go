@@ -5,10 +5,9 @@ import (
 	"strings"
 
 	"repro/internal/addr"
-	"repro/internal/cache"
 	"repro/internal/config"
 	"repro/internal/core"
-	"repro/internal/cpu"
+	"repro/internal/runner"
 	"repro/internal/trace"
 )
 
@@ -48,38 +47,23 @@ type Table2Row struct {
 }
 
 // Table2 measures the MPKI and footprint our synthetic stand-ins actually
-// produce, next to the paper's reported values.
+// produce, next to the paper's reported values. One benchmark per cell.
 func (h *Harness) Table2() ([]Table2Row, error) {
-	sys := h.System()
-	var out []Table2Row
-	for _, b := range h.Benchmarks() {
-		hier, err := cache.NewHierarchy(sys.Caches)
+	return runner.Map(h.workers(), h.Benchmarks(), func(_ int, b trace.Benchmark) (Table2Row, error) {
+		r, err := h.RunDesign(config.DesignNoHBM, b)
 		if err != nil {
-			return nil, err
+			return Table2Row{}, fmt.Errorf("table2 %s: %w", b.Profile.Name, err)
 		}
-		mem, err := Build(config.DesignNoHBM, sys)
-		if err != nil {
-			return nil, err
-		}
-		gen, err := trace.NewSynthetic(b.Profile)
-		if err != nil {
-			return nil, err
-		}
-		res, err := cpu.Run(sys.Core, hier, mem, &trace.Limit{S: gen, N: h.Accesses})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, Table2Row{
+		h.logf("table2 %-10s MPKI %5.1f (paper %5.1f)", b.Profile.Name, r.CPU.MPKI(), b.PaperMPKI)
+		return Table2Row{
 			Bench:       b.Profile.Name,
 			Class:       b.Class,
 			PaperMPKI:   b.PaperMPKI,
-			MeasMPKI:    res.MPKI(),
+			MeasMPKI:    r.CPU.MPKI(),
 			PaperGB:     b.PaperGB,
 			FootprintGB: float64(b.Profile.FootprintBytes) * float64(h.Scale) / float64(addr.GiB),
-		})
-		h.logf("table2 %-10s MPKI %5.1f (paper %5.1f)", b.Profile.Name, res.MPKI(), b.PaperMPKI)
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // Table2Text renders the measured Table II.
@@ -123,25 +107,39 @@ type OverfetchResult struct {
 	Hybrid2   float64
 }
 
-// Overfetch measures over-fetching across all Table II benchmarks.
+// Overfetch measures over-fetching across all Table II benchmarks. Each
+// cell runs both designs on one benchmark; totals accumulate in benchmark
+// order after the sweep so the result is scheduling-independent.
 func (h *Harness) Overfetch() (OverfetchResult, error) {
+	type cellOut struct {
+		fetchedB, usedB, fetchedH, usedH uint64
+	}
 	var res OverfetchResult
-	var fetchedB, usedB, fetchedH, usedH uint64
-	for _, b := range h.Benchmarks() {
+	cells, err := runner.Map(h.workers(), h.Benchmarks(), func(_ int, b trace.Benchmark) (cellOut, error) {
 		rb, err := h.RunDesign(config.DesignBumblebee, b)
 		if err != nil {
-			return res, err
+			return cellOut{}, fmt.Errorf("overfetch %s: %w", b.Profile.Name, err)
 		}
-		fetchedB += rb.Counters.FetchedBytes
-		usedB += rb.Counters.UsedBytes
 		rh, err := h.RunDesign(config.DesignHybrid2, b)
 		if err != nil {
-			return res, err
+			return cellOut{}, fmt.Errorf("overfetch %s: %w", b.Profile.Name, err)
 		}
-		fetchedH += rh.Counters.FetchedBytes
-		usedH += rh.Counters.UsedBytes
 		h.logf("overfetch %-10s bb %.1f%% h2 %.1f%%", b.Profile.Name,
 			rb.Counters.OverfetchRate()*100, rh.Counters.OverfetchRate()*100)
+		return cellOut{
+			fetchedB: rb.Counters.FetchedBytes, usedB: rb.Counters.UsedBytes,
+			fetchedH: rh.Counters.FetchedBytes, usedH: rh.Counters.UsedBytes,
+		}, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	var fetchedB, usedB, fetchedH, usedH uint64
+	for _, c := range cells {
+		fetchedB += c.fetchedB
+		usedB += c.usedB
+		fetchedH += c.fetchedH
+		usedH += c.usedH
 	}
 	if fetchedB > 0 {
 		res.Bumblebee = 1 - minF(float64(usedB)/float64(fetchedB), 1)

@@ -1,0 +1,176 @@
+// Package runner is the parallel experiment engine behind every sweep in
+// the repository: it fans a matrix of independent simulation cells out
+// across a bounded pool of worker goroutines and assembles the results in
+// input order, so a sweep's output is bit-identical whether it ran on one
+// worker or sixty-four.
+//
+// Determinism contract. A cell's result may depend only on its inputs —
+// never on scheduling. Each stochastic component therefore derives its RNG
+// seed from the cell's stable identity via Seed (an FNV-1a hash of the
+// design and benchmark names), not from a shared generator, wall-clock
+// time, or worker index. The harness applies this rule in Harness.Run;
+// anything new that consumes randomness inside a cell must follow it.
+//
+// Error contract. One failed cell must not abort the sweep: every cell
+// runs to completion (panics included — they are recovered and reported as
+// that cell's error), and Map returns the full ordered output slice plus
+// an Errors aggregate describing every failure.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+)
+
+// fnv1a constants (64-bit).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Seed derives a deterministic 64-bit RNG seed from the identity of an
+// experiment cell: FNV-1a over the parts with a separator folded in
+// between, so Seed("ab", "c") differs from Seed("a", "bc"). The same parts
+// always produce the same seed, regardless of worker count or scheduling
+// order — this is what makes parallel sweeps bit-identical to serial ones.
+// The result is never zero (zero means "unseeded" to callers).
+func Seed(parts ...string) uint64 {
+	h := uint64(fnvOffset64)
+	for _, p := range parts {
+		for i := 0; i < len(p); i++ {
+			h ^= uint64(p[i])
+			h *= fnvPrime64
+		}
+		h ^= 0xFF // part separator, outside the byte range of UTF-8 text
+		h *= fnvPrime64
+	}
+	if h == 0 {
+		h = fnvOffset64
+	}
+	return h
+}
+
+// DefaultWorkers is the worker count used when a caller passes workers <= 0:
+// one worker per schedulable CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// CellError records the failure of one cell of a sweep.
+type CellError struct {
+	Index int // position in the input slice
+	Err   error
+}
+
+func (e *CellError) Error() string { return fmt.Sprintf("cell %d: %v", e.Index, e.Err) }
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *CellError) Unwrap() error { return e.Err }
+
+// Errors aggregates every failed cell of a sweep, ordered by cell index.
+type Errors []*CellError
+
+func (es Errors) Error() string {
+	if len(es) == 0 {
+		return "runner: no errors"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "runner: %d sweep cell(s) failed: %v", len(es), es[0].Err)
+	for _, e := range es[1:] {
+		fmt.Fprintf(&b, "; %v", e.Err)
+	}
+	return b.String()
+}
+
+// or returns the aggregate as an error, or nil when every cell succeeded.
+func (es Errors) or() error {
+	if len(es) == 0 {
+		return nil
+	}
+	return es
+}
+
+// Map runs fn over every item with at most workers goroutines (workers <= 0
+// means DefaultWorkers) and returns the outputs in input order. Every cell
+// runs even when others fail; the returned error is nil when all cells
+// succeeded and an Errors aggregate otherwise (failed cells hold their
+// zero output value). A panic inside fn is recovered and reported as that
+// cell's error, so one bad cell cannot take down the whole sweep.
+func Map[I, O any](workers int, items []I, fn func(i int, item I) (O, error)) ([]O, error) {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	out := make([]O, len(items))
+	errs := make([]*CellError, len(items))
+	if len(items) == 0 {
+		return out, nil
+	}
+	var (
+		next int
+		mu   sync.Mutex
+		wg   sync.WaitGroup
+	)
+	runCell := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				errs[i] = &CellError{Index: i, Err: fmt.Errorf("panic: %v", r)}
+			}
+		}()
+		v, err := fn(i, items[i])
+		if err != nil {
+			errs[i] = &CellError{Index: i, Err: err}
+			return
+		}
+		out[i] = v
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(items) {
+					return
+				}
+				runCell(i)
+			}
+		}()
+	}
+	wg.Wait()
+	var agg Errors
+	for _, e := range errs {
+		if e != nil {
+			agg = append(agg, e)
+		}
+	}
+	return out, agg.or()
+}
+
+// Matrix fans fn out over the rows × cols cross product — the (design,
+// benchmark) shape of every figure sweep — and returns results indexed
+// [row][col]. Cells are scheduled row-major but complete independently;
+// like Map, all cells run even when some fail, and the error aggregates
+// every failure.
+func Matrix[R, C, O any](workers int, rows []R, cols []C, fn func(r R, c C) (O, error)) ([][]O, error) {
+	type cell struct{ ri, ci int }
+	cells := make([]cell, 0, len(rows)*len(cols))
+	for ri := range rows {
+		for ci := range cols {
+			cells = append(cells, cell{ri, ci})
+		}
+	}
+	flat, err := Map(workers, cells, func(_ int, c cell) (O, error) {
+		return fn(rows[c.ri], cols[c.ci])
+	})
+	out := make([][]O, len(rows))
+	for ri := range rows {
+		out[ri] = flat[ri*len(cols) : (ri+1)*len(cols)]
+	}
+	return out, err
+}

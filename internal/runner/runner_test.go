@@ -1,0 +1,180 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSeedStable(t *testing.T) {
+	a := Seed("bumblebee", "mcf")
+	b := Seed("bumblebee", "mcf")
+	if a != b {
+		t.Fatalf("seed not stable: %d vs %d", a, b)
+	}
+	if a == 0 {
+		t.Error("seed is zero (reserved for 'unseeded')")
+	}
+	if Seed("bumblebee", "mcf") == Seed("bumblebee", "wrf") {
+		t.Error("different benchmarks collide")
+	}
+	if Seed("bumblebee", "mcf") == Seed("hybrid2", "mcf") {
+		t.Error("different designs collide")
+	}
+	// The separator must keep part boundaries distinct.
+	if Seed("ab", "c") == Seed("a", "bc") {
+		t.Error("part boundaries not separated")
+	}
+	if Seed() == 0 || Seed("") == 0 {
+		t.Error("degenerate inputs produced zero seed")
+	}
+}
+
+func TestMapOrderedAndComplete(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	for _, workers := range []int{1, 3, 8, 200} {
+		out, err := Map(workers, items, func(_ int, v int) (int, error) { return v * v, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmptyAndDefaultWorkers(t *testing.T) {
+	out, err := Map(0, nil, func(_ int, v int) (int, error) { return v, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty map: %v %v", out, err)
+	}
+	if DefaultWorkers() < 1 {
+		t.Fatalf("DefaultWorkers = %d", DefaultWorkers())
+	}
+}
+
+func TestMapErrorCapture(t *testing.T) {
+	sentinel := errors.New("boom")
+	items := []int{0, 1, 2, 3, 4, 5}
+	var ran atomic.Int32
+	out, err := Map(4, items, func(_ int, v int) (int, error) {
+		ran.Add(1)
+		if v%2 == 1 {
+			return 0, fmt.Errorf("cell %d: %w", v, sentinel)
+		}
+		return v + 10, nil
+	})
+	if err == nil {
+		t.Fatal("expected aggregate error")
+	}
+	var agg Errors
+	if !errors.As(err, &agg) {
+		t.Fatalf("error type %T", err)
+	}
+	if len(agg) != 3 {
+		t.Fatalf("failures = %d, want 3", len(agg))
+	}
+	// Failures are ordered by cell index and unwrap to the cause.
+	if agg[0].Index != 1 || agg[1].Index != 3 || agg[2].Index != 5 {
+		t.Errorf("failure order: %v", agg)
+	}
+	if !errors.Is(agg[0], sentinel) {
+		t.Error("cell error does not unwrap to the cause")
+	}
+	// One failed cell must not abort the sweep: every cell ran, and the
+	// successful cells kept their results.
+	if ran.Load() != 6 {
+		t.Errorf("ran %d cells, want 6", ran.Load())
+	}
+	for _, i := range []int{0, 2, 4} {
+		if out[i] != i+10 {
+			t.Errorf("successful cell %d lost its result: %d", i, out[i])
+		}
+	}
+}
+
+func TestMapPanicRecovered(t *testing.T) {
+	items := []int{0, 1, 2}
+	out, err := Map(2, items, func(_ int, v int) (string, error) {
+		if v == 1 {
+			panic("cell exploded")
+		}
+		return fmt.Sprintf("ok%d", v), nil
+	})
+	if err == nil {
+		t.Fatal("expected panic to surface as error")
+	}
+	if out[0] != "ok0" || out[2] != "ok2" {
+		t.Errorf("surviving cells wrong: %v", out)
+	}
+}
+
+func TestMapBoundedConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int32
+	items := make([]int, 64)
+	var mu sync.Mutex
+	_, err := Map(workers, items, func(_ int, _ int) (int, error) {
+		n := cur.Add(1)
+		mu.Lock()
+		if n > peak.Load() {
+			peak.Store(n)
+		}
+		mu.Unlock()
+		defer cur.Add(-1)
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("peak concurrency %d exceeds bound %d", p, workers)
+	}
+}
+
+func TestMatrixShapeAndOrder(t *testing.T) {
+	rows := []string{"a", "b", "c"}
+	cols := []int{1, 2}
+	out, err := Matrix(4, rows, cols, func(r string, c int) (string, error) {
+		return fmt.Sprintf("%s%d", r, c), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 || len(out[0]) != 2 {
+		t.Fatalf("shape %dx%d", len(out), len(out[0]))
+	}
+	want := [][]string{{"a1", "a2"}, {"b1", "b2"}, {"c1", "c2"}}
+	for ri := range want {
+		for ci := range want[ri] {
+			if out[ri][ci] != want[ri][ci] {
+				t.Errorf("out[%d][%d] = %q, want %q", ri, ci, out[ri][ci], want[ri][ci])
+			}
+		}
+	}
+}
+
+func TestMatrixErrorIndexing(t *testing.T) {
+	rows := []int{0, 1}
+	cols := []int{0, 1, 2}
+	_, err := Matrix(2, rows, cols, func(r, c int) (int, error) {
+		if r == 1 && c == 2 {
+			return 0, errors.New("last cell")
+		}
+		return 0, nil
+	})
+	var agg Errors
+	if !errors.As(err, &agg) || len(agg) != 1 {
+		t.Fatalf("err = %v", err)
+	}
+	if agg[0].Index != 5 { // row-major flattening: 1*3+2
+		t.Errorf("failed cell index %d, want 5", agg[0].Index)
+	}
+}
