@@ -5,7 +5,8 @@
 //	bbrepro -experiment fig8 -scale 128 -accesses 1500000
 //
 // Experiments: table1, table2, fig1, fig6, fig7, fig8, metadata,
-// overfetch, all.
+// overfetch, all; figfault (the RAS fault sweep) runs only when requested
+// by name.
 package main
 
 import (
@@ -13,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 
 	"repro/internal/harness"
@@ -22,25 +24,46 @@ import (
 // metricsTable wraps a table pointer for the CSV panel map.
 type metricsTable struct{ t *metrics.Table }
 
-// writeCSV creates path and streams CSV into it.
+// writeCSV creates path and streams CSV into it. The close error is
+// checked: a full disk surfaces at close time, and swallowing it would
+// report a truncated CSV as success.
 func writeCSV(path string, fn func(*os.File) error) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return fn(f)
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// parseRates parses the -faults comma-separated rate list.
+func parseRates(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad fault rate %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run (table1,table2,fig1,fig6,fig7,fig8,mal,mix,metadata,overfetch,all)")
-		scale      = flag.Uint64("scale", 128, "capacity scale factor versus Table I")
-		accesses   = flag.Uint64("accesses", 1_500_000, "memory references per benchmark run")
-		parallel   = flag.Int("parallel", runtime.NumCPU(), "worker goroutines per sweep (results are identical at any value)")
-		verbose    = flag.Bool("v", false, "log per-run progress")
-		csvDir     = flag.String("csv", "", "also write raw results as CSV into this directory")
-		plot       = flag.Bool("plot", false, "render figure panels as ASCII bar charts")
+		experiment  = flag.String("experiment", "all", "which experiment to run (table1,table2,fig1,fig6,fig7,fig8,mal,mix,metadata,overfetch,figfault,all)")
+		scale       = flag.Uint64("scale", 128, "capacity scale factor versus Table I")
+		accesses    = flag.Uint64("accesses", 1_500_000, "memory references per benchmark run")
+		parallel    = flag.Int("parallel", runtime.NumCPU(), "worker goroutines per sweep (results are identical at any value)")
+		verbose     = flag.Bool("v", false, "log per-run progress")
+		csvDir      = flag.String("csv", "", "also write raw results as CSV into this directory")
+		plot        = flag.Bool("plot", false, "render figure panels as ASCII bar charts")
+		faults      = flag.String("faults", "0,2,10,50", "comma-separated frame-failure rates (per million HBM accesses) for the figfault sweep")
+		cellTimeout = flag.Duration("cell-timeout", 0, "per-cell deadline for sweeps (0 disables); a hung cell fails instead of blocking the sweep")
 	)
 	flag.Parse()
 
@@ -48,9 +71,25 @@ func main() {
 	h.Scale = *scale
 	h.Accesses = *accesses
 	h.Parallel = *parallel
+	h.CellTimeout = *cellTimeout
 	if *verbose {
 		h.Progress = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	if err := h.System().Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "bbrepro: invalid system configuration: %v\n", err)
+		os.Exit(1)
+	}
+	rates, err := parseRates(*faults)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bbrepro: -faults: %v\n", err)
+		os.Exit(2)
+	}
+	for _, r := range rates {
+		if f := harness.FaultsAtRate(r); f.Validate() != nil {
+			fmt.Fprintf(os.Stderr, "bbrepro: -faults: rate %g: %v\n", r, harness.FaultsAtRate(r).Validate())
+			os.Exit(2)
 		}
 	}
 
@@ -65,10 +104,11 @@ func main() {
 	}
 
 	known := map[string]bool{"table1": true, "table2": true, "fig1": true, "fig6": true,
-		"fig7": true, "fig8": true, "mal": true, "mix": true, "metadata": true, "overfetch": true, "all": true}
+		"fig7": true, "fig8": true, "mal": true, "mix": true, "metadata": true, "overfetch": true,
+		"figfault": true, "all": true}
 	if !known[*experiment] {
 		fmt.Fprintf(os.Stderr, "bbrepro: unknown experiment %q (want %s)\n",
-			*experiment, strings.Join([]string{"table1", "table2", "fig1", "fig6", "fig7", "fig8", "mal", "mix", "metadata", "overfetch", "all"}, ", "))
+			*experiment, strings.Join([]string{"table1", "table2", "fig1", "fig6", "fig7", "fig8", "mal", "mix", "metadata", "overfetch", "figfault", "all"}, ", "))
 		os.Exit(2)
 	}
 	if *csvDir != "" {
@@ -185,6 +225,23 @@ func main() {
 		fmt.Println(harness.MALTable(res))
 		return nil
 	})
+	// The fault sweep multiplies the Figure 8 matrix by every rate, so it
+	// runs only when requested by name, not as part of "all".
+	if *experiment == "figfault" {
+		run("figfault", func() error {
+			res, err := h.FigFaultWith(harness.Fig8Designs, rates)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Table().String())
+			if *csvDir != "" {
+				return writeCSV(*csvDir+"/figfault_sweep.csv", func(w *os.File) error {
+					return harness.WriteFigFaultCSV(w, res)
+				})
+			}
+			return nil
+		})
+	}
 	run("metadata", func() error {
 		fmt.Println(harness.MetadataReport())
 		return nil

@@ -14,11 +14,17 @@ import (
 	"runtime"
 	"strings"
 
+	"repro/internal/config"
 	"repro/internal/runner"
 	"repro/internal/trace"
 )
 
 func main() {
+	// Traces are generated against the default system's geometry; refuse
+	// to run at all if that configuration is broken.
+	if err := config.Default().Validate(); err != nil {
+		log.Fatalf("bbtrace: invalid default configuration: %v", err)
+	}
 	if len(os.Args) < 2 {
 		usage()
 	}
@@ -63,7 +69,6 @@ func gen(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer f.Close()
 	w, err := trace.NewWriter(f)
 	if err != nil {
 		log.Fatal(err)
@@ -82,6 +87,11 @@ func gen(args []string) {
 	}
 	st, err := f.Stat()
 	if err != nil {
+		log.Fatal(err)
+	}
+	// Close errors matter on the write path: a full disk surfaces here,
+	// and a silently truncated trace would poison every replay of it.
+	if err := f.Close(); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %d accesses to %s (%.2f MB, %.2f B/access)\n",
@@ -116,10 +126,11 @@ func benchTable(args []string) {
 	n := fs.Uint64("n", 300_000, "accesses to characterize per profile")
 	scale := fs.Uint64("scale", 128, "footprint scale factor")
 	parallel := fs.Int("parallel", runtime.NumCPU(), "worker goroutines (output is identical at any value)")
+	cellTimeout := fs.Duration("cell-timeout", 0, "per-cell deadline (0 disables)")
 	fs.Parse(args)
 	// One profile per cell; each cell owns its generator, so the table is
 	// identical at any -parallel setting.
-	chars, err := runner.Map(*parallel, trace.TableII(),
+	chars, err := runner.MapTimeout(*parallel, *cellTimeout, trace.TableII(),
 		func(_ int, b trace.Benchmark) (trace.Characteristics, error) {
 			gen, err := trace.NewSynthetic(b.Scale(*scale).Profile)
 			if err != nil {

@@ -26,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/energy"
+	"repro/internal/faults"
 	"repro/internal/harness"
 	"repro/internal/runner"
 	"repro/internal/trace"
@@ -33,15 +34,17 @@ import (
 
 func main() {
 	var (
-		design    = flag.String("design", "bumblebee", "memory design to simulate (comma-separated list runs a matrix)")
-		bench     = flag.String("bench", "mcf", "Table II benchmark name (comma-separated list runs a matrix)")
-		traceFile = flag.String("trace", "", "replay a recorded .bbtr trace instead of a benchmark")
-		scale     = flag.Uint64("scale", 128, "capacity scale factor versus Table I")
-		accesses  = flag.Uint64("accesses", 1_000_000, "memory references to simulate")
-		blockKB   = flag.Uint64("block", 2, "Bumblebee block size in KB")
-		pageKB    = flag.Uint64("page", 64, "Bumblebee page size in KB")
-		parallel  = flag.Int("parallel", runtime.NumCPU(), "worker goroutines for matrix runs")
-		inspect   = flag.Int("inspect", -1, "dump this remapping set's state after the run (Bumblebee only)")
+		design      = flag.String("design", "bumblebee", "memory design to simulate (comma-separated list runs a matrix)")
+		bench       = flag.String("bench", "mcf", "Table II benchmark name (comma-separated list runs a matrix)")
+		traceFile   = flag.String("trace", "", "replay a recorded .bbtr trace instead of a benchmark")
+		scale       = flag.Uint64("scale", 128, "capacity scale factor versus Table I")
+		accesses    = flag.Uint64("accesses", 1_000_000, "memory references to simulate")
+		blockKB     = flag.Uint64("block", 2, "Bumblebee block size in KB")
+		pageKB      = flag.Uint64("page", 64, "Bumblebee page size in KB")
+		parallel    = flag.Int("parallel", runtime.NumCPU(), "worker goroutines for matrix runs")
+		inspect     = flag.Int("inspect", -1, "dump this remapping set's state after the run (Bumblebee only)")
+		faultRate   = flag.Float64("faults", 0, "RAS frame-failure rate per million HBM accesses (0 disables fault injection)")
+		cellTimeout = flag.Duration("cell-timeout", 0, "per-cell deadline for matrix runs (0 disables)")
 	)
 	flag.Parse()
 
@@ -49,9 +52,14 @@ func main() {
 	h.Scale = *scale
 	h.Accesses = *accesses
 	h.Parallel = *parallel
+	h.CellTimeout = *cellTimeout
 	sys := h.System()
 	sys.BlockBytes = *blockKB * 1024
 	sys.PageBytes = *pageKB * 1024
+	sys.Faults = harness.FaultsAtRate(*faultRate)
+	if err := sys.Validate(); err != nil {
+		log.Fatalf("bumblebee-sim: invalid configuration: %v", err)
+	}
 
 	designs := strings.Split(*design, ",")
 	benches := strings.Split(*bench, ",")
@@ -100,6 +108,14 @@ func main() {
 		label = b.Profile.Name
 	}
 
+	// Same fault-seeding rule as harness.Run, so a single faulted run
+	// reproduces its figfault matrix cell exactly.
+	if sys.Faults.Enabled {
+		dev := mem.Devices()
+		dev.AttachFaults(faults.New(sys.Faults, dev.Geom.HBMPages(),
+			runner.Seed("faults", mem.Name(), label)))
+	}
+
 	hier, err := cache.NewHierarchy(sys.Caches)
 	if err != nil {
 		log.Fatalf("bumblebee-sim: %v", err)
@@ -138,6 +154,15 @@ func main() {
 		e.TotalMJ(), e.HBMPJ()/1e9, e.DRAMPJ()/1e9)
 	fmt.Printf("metadata        %12d lookups (%d to HBM)\n", cnt.MetaLookups, cnt.MetaHBM)
 
+	if sys.Faults.Enabled {
+		fmt.Println()
+		fmt.Printf("RAS: ecc corrected  %10d   ecc retried    %10d\n", cnt.ECCCorrected, cnt.ECCRetried)
+		fmt.Printf("     frames retired %10d   retired serves %10d\n", cnt.FramesRetired, cnt.RetiredServes)
+		fmt.Printf("     throttled      %10d\n", cnt.ThrottledAccesses)
+		fmt.Printf("     retire: %d migrations, %d drops, %d deferred\n",
+			cnt.RetireMigrations, cnt.RetireDrops, cnt.RetireDeferred)
+	}
+
 	if bb, ok := mem.(*core.Bumblebee); ok {
 		fmt.Println()
 		bb.Summary(os.Stdout)
@@ -155,7 +180,7 @@ func main() {
 // runMatrix fans a (design × benchmark) matrix out across the harness
 // worker pool and prints one compact row per run, in matrix order.
 func runMatrix(h *harness.Harness, sys config.System, designs, benches []string) {
-	rows, err := runner.Matrix(h.Parallel, designs, benches,
+	rows, err := runner.MatrixTimeout(h.Parallel, h.CellTimeout, designs, benches,
 		func(d, bench string) (harness.RunResult, error) {
 			b, err := trace.ByName(bench)
 			if err != nil {

@@ -55,6 +55,7 @@ func (c *Cache) Devices() *hmm.Devices { return c.dev }
 func (c *Cache) Counters() hmm.Counters {
 	out := c.cnt
 	out.PageFaults = c.os.Faults
+	c.dev.AddRAS(&out)
 	return out
 }
 
@@ -80,12 +81,12 @@ func (c *Cache) Access(now uint64, a addr.Addr, write bool) uint64 {
 	l := &c.lines[idx]
 
 	// One TAD read returns tag and data together.
-	tagDone := c.dev.HBM.Access(now, hbmAddr, tadBytes, false)
+	tagDone := c.dev.HBMAccess(now, hbmAddr, tadBytes, false)
 	if l.valid && l.tag == lineNo {
 		c.cnt.ServedHBM++
 		if write {
 			l.dirty = true
-			return c.dev.HBM.Access(tagDone, hbmAddr, 64, true)
+			return c.dev.HBMAccess(tagDone, hbmAddr, 64, true)
 		}
 		return tagDone
 	}
@@ -99,7 +100,7 @@ func (c *Cache) Access(now uint64, a addr.Addr, write bool) uint64 {
 		c.dev.DRAM.Access(done, addr.Addr(l.tag*64), 64, true)
 		c.cnt.Evictions++
 	}
-	c.dev.HBM.Access(done, hbmAddr, tadBytes, true)
+	c.dev.HBMAccess(done, hbmAddr, tadBytes, true)
 	c.cnt.BlockFills++
 	// Alloy fetches exactly the demanded 64 B, so a fill is always used.
 	c.cnt.FetchedBytes += 64
@@ -116,7 +117,7 @@ func (c *Cache) Writeback(now uint64, a addr.Addr) {
 	idx, hbmAddr := c.slot(lineNo)
 	l := &c.lines[idx]
 	if l.valid && l.tag == lineNo {
-		c.dev.HBM.Access(now, hbmAddr, tadBytes, true)
+		c.dev.HBMAccess(now, hbmAddr, tadBytes, true)
 		l.dirty = true
 		return
 	}

@@ -83,6 +83,7 @@ func (c *Cache) Devices() *hmm.Devices { return c.dev }
 func (c *Cache) Counters() hmm.Counters {
 	out := c.cnt
 	out.PageFaults = c.os.Faults
+	c.dev.AddRAS(&out)
 	return out
 }
 
@@ -149,7 +150,7 @@ func (c *Cache) maybePromote(now uint64, set, page uint64) {
 	v := &c.sets[set][vi]
 	if v.valid {
 		if v.dirty {
-			rd := c.dev.HBM.Access(now, c.hbmAddr(set, vi, 0), pageBytes, false)
+			rd := c.dev.HBMAccess(now, c.hbmAddr(set, vi, 0), pageBytes, false)
 			c.dev.DRAM.Access(rd, addr.Addr(v.tag*pageBytes), pageBytes, true)
 		}
 		c.freq[v.tag] = v.count
@@ -157,7 +158,7 @@ func (c *Cache) maybePromote(now uint64, set, page uint64) {
 	}
 	// Whole-page fill.
 	rd := c.dev.DRAM.Access(now, addr.Addr(page*pageBytes), pageBytes, false)
-	c.dev.HBM.Access(rd, c.hbmAddr(set, vi, 0), pageBytes, true)
+	c.dev.HBMAccess(rd, c.hbmAddr(set, vi, 0), pageBytes, true)
 	*v = way{tag: page, valid: true, count: f}
 	delete(c.freq, page)
 	c.cnt.PageMigrations++
@@ -186,7 +187,7 @@ func (c *Cache) Access(now uint64, a addr.Addr, write bool) uint64 {
 			c.cnt.UsedBytes += 64
 		}
 		c.cnt.ServedHBM++
-		return c.dev.HBM.Access(start, c.hbmAddr(set, wi, off&^63), 64, write)
+		return c.dev.HBMAccess(start, c.hbmAddr(set, wi, off&^63), 64, write)
 	}
 
 	done := c.dev.DRAM.Access(start, addr.Addr(page*pageBytes+off&^63), 64, write)
@@ -205,7 +206,7 @@ func (c *Cache) Writeback(now uint64, a addr.Addr) {
 	set := page % uint64(len(c.sets))
 	if wi := c.lookup(set, page); wi >= 0 {
 		c.sets[set][wi].dirty = true
-		c.dev.HBM.Access(now, c.hbmAddr(set, wi, off&^63), 64, true)
+		c.dev.HBMAccess(now, c.hbmAddr(set, wi, off&^63), 64, true)
 		return
 	}
 	c.dev.DRAM.Access(now, addr.Addr(page*pageBytes+off&^63), 64, true)

@@ -96,6 +96,7 @@ func (s *System) Counters() hmm.Counters {
 	c.MetaLookups = s.meta.Lookups
 	c.MetaHBM = s.meta.HBMHits
 	c.PageFaults = s.os.Faults
+	s.dev.AddRAS(&c)
 	return c
 }
 

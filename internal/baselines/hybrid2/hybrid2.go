@@ -127,6 +127,7 @@ func (s *System) Counters() hmm.Counters {
 	c.FetchedBytes = s.ft.Fetched
 	c.UsedBytes = s.ft.Used
 	c.PageFaults = s.os.Faults
+	s.dev.AddRAS(&c)
 	return c
 }
 
@@ -217,7 +218,7 @@ func (s *System) Access(now uint64, a addr.Addr, write bool) uint64 {
 	if s.geom.IsHBMSlot(uint64(slot)) {
 		// Page lives in the POM region.
 		f := s.geom.HBMFrameOfSlot(setIdx, uint64(slot))
-		done := s.dev.HBM.Access(metaDone, s.pomFrameAddr(f, off64), 64, write)
+		done := s.dev.HBMAccess(metaDone, s.pomFrameAddr(f, off64), 64, write)
 		s.ft.OnUse(s.ftKeyPOM(f), off64, 64)
 		s.cnt.ServedHBM++
 		return done
@@ -231,7 +232,7 @@ func (s *System) Access(now uint64, a addr.Addr, write bool) uint64 {
 		w := &s.cacheSets[cset][wi]
 		s.tick++
 		w.lruTick = s.tick
-		done := s.dev.HBM.Access(metaDone, s.cacheFrameAddr(cset, wi, blk)+addr.Addr(off64%blockBytes), 64, write)
+		done := s.dev.HBMAccess(metaDone, s.cacheFrameAddr(cset, wi, blk)+addr.Addr(off64%blockBytes), 64, write)
 		if write {
 			w.dirty |= 1 << blk
 		}
@@ -272,7 +273,7 @@ func (s *System) fillBlock(now uint64, cset uint64, wi int, p, dframe, blk uint6
 	}
 	w := &s.cacheSets[cset][wi]
 	rd := s.dev.AccessDRAM(now, dframe, blk*blockBytes, blockBytes, false)
-	s.dev.HBM.Access(rd, s.cacheFrameAddr(cset, wi, blk), blockBytes, true)
+	s.dev.HBMAccess(rd, s.cacheFrameAddr(cset, wi, blk), blockBytes, true)
 	w.present |= 1 << blk
 	s.ft.OnFetch(s.ftKeyCache(cset, wi), blk*blockBytes, blockBytes)
 	s.cnt.BlockFills++
@@ -303,7 +304,7 @@ func (s *System) evictCacheWay(now uint64, cset uint64, wi int) {
 		dframe := s.geom.DRAMFrameOfSlot(setIdx, uint64(slot))
 		for blk := uint64(0); blk < uint64(blocksPer); blk++ {
 			if w.dirty&(1<<blk) != 0 {
-				rd := s.dev.HBM.Access(now, s.cacheFrameAddr(cset, wi, blk), blockBytes, false)
+				rd := s.dev.HBMAccess(now, s.cacheFrameAddr(cset, wi, blk), blockBytes, false)
 				s.dev.AccessDRAM(rd, dframe, blk*blockBytes, blockBytes, true)
 			}
 		}
@@ -349,7 +350,7 @@ func (s *System) promote(now uint64, p uint64, setIdx uint64, slot int32) {
 			return // set completely full; no promotion possible
 		}
 		vf := s.geom.HBMFrameOfSlot(setIdx, uint64(victimSlot))
-		rd := s.dev.HBM.Access(now, s.pomFrameAddr(vf, 0), pageBytes, false)
+		rd := s.dev.HBMAccess(now, s.pomFrameAddr(vf, 0), pageBytes, false)
 		s.dev.AccessDRAM(rd, s.geom.DRAMFrameOfSlot(setIdx, uint64(victimHome)), 0, pageBytes, true)
 		ps.newPLE[victimOrig] = victimHome
 		ps.occupant[victimHome] = victimOrig
@@ -372,11 +373,11 @@ func (s *System) promote(now uint64, p uint64, setIdx uint64, slot int32) {
 	}
 	for blk := uint64(0); blk < uint64(blocksPer); blk++ {
 		if present&(1<<blk) != 0 {
-			rd := s.dev.HBM.Access(now, s.cacheFrameAddr(cset, wi, blk), blockBytes, false)
-			s.dev.HBM.Access(rd, s.pomFrameAddr(f, blk*blockBytes), blockBytes, true)
+			rd := s.dev.HBMAccess(now, s.cacheFrameAddr(cset, wi, blk), blockBytes, false)
+			s.dev.HBMAccess(rd, s.pomFrameAddr(f, blk*blockBytes), blockBytes, true)
 		} else {
 			rd := s.dev.AccessDRAM(now, dframe, blk*blockBytes, blockBytes, false)
-			s.dev.HBM.Access(rd, s.pomFrameAddr(f, blk*blockBytes), blockBytes, true)
+			s.dev.HBMAccess(rd, s.pomFrameAddr(f, blk*blockBytes), blockBytes, true)
 		}
 	}
 	if wi >= 0 {
@@ -406,13 +407,13 @@ func (s *System) Writeback(now uint64, a addr.Addr) {
 	setIdx, slot := s.pomLookup(p)
 	if s.geom.IsHBMSlot(uint64(slot)) {
 		f := s.geom.HBMFrameOfSlot(setIdx, uint64(slot))
-		s.dev.HBM.Access(now, s.pomFrameAddr(f, off64), 64, true)
+		s.dev.HBMAccess(now, s.pomFrameAddr(f, off64), 64, true)
 		return
 	}
 	cset := p % uint64(len(s.cacheSets))
 	if wi := s.cacheLookup(cset, p); wi >= 0 && s.cacheSets[cset][wi].present&(1<<blk) != 0 {
 		s.cacheSets[cset][wi].dirty |= 1 << blk
-		s.dev.HBM.Access(now, s.cacheFrameAddr(cset, wi, blk), 64, true)
+		s.dev.HBMAccess(now, s.cacheFrameAddr(cset, wi, blk), 64, true)
 		return
 	}
 	s.dev.AccessDRAM(now, s.geom.DRAMFrameOfSlot(setIdx, uint64(slot)), off64, 64, true)

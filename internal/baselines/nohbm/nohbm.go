@@ -41,6 +41,7 @@ func (s *System) Devices() *hmm.Devices { return s.dev }
 func (s *System) Counters() hmm.Counters {
 	c := s.cnt
 	c.PageFaults = s.os.Faults
+	s.dev.AddRAS(&c)
 	return c
 }
 

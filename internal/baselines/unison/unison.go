@@ -84,6 +84,7 @@ func (c *Cache) Devices() *hmm.Devices { return c.dev }
 func (c *Cache) Counters() hmm.Counters {
 	out := c.cnt
 	out.PageFaults = c.os.Faults
+	c.dev.AddRAS(&out)
 	return out
 }
 
@@ -126,7 +127,7 @@ func (c *Cache) evict(now uint64, set uint64, wi int) {
 	}
 	for blk := uint64(0); blk < uint64(blocksPer); blk++ {
 		if w.get(&w.dirty, blk) {
-			rd := c.dev.HBM.Access(now, c.hbmAddr(set, wi, blk), blockBytes, false)
+			rd := c.dev.HBMAccess(now, c.hbmAddr(set, wi, blk), blockBytes, false)
 			c.dev.DRAM.Access(rd, addr.Addr(w.tag*pageBytes+blk*blockBytes), blockBytes, true)
 		}
 	}
@@ -157,12 +158,12 @@ func (c *Cache) fill(now uint64, set uint64, wi int, page uint64, demand uint64)
 			continue
 		}
 		rd := c.dev.DRAM.Access(now, addr.Addr(page*pageBytes+blk*blockBytes), blockBytes, false)
-		c.dev.HBM.Access(rd, c.hbmAddr(set, wi, blk), blockBytes, true)
+		c.dev.HBMAccess(rd, c.hbmAddr(set, wi, blk), blockBytes, true)
 		w.set(&w.present, blk)
 		c.cnt.FetchedBytes += blockBytes
 	}
 	// Tag write into the embedded tag row.
-	c.dev.HBM.Access(now, c.hbmAddr(set, wi, 0), 16, true)
+	c.dev.HBMAccess(now, c.hbmAddr(set, wi, 0), 16, true)
 	c.cnt.BlockFills++
 }
 
@@ -177,7 +178,7 @@ func (c *Cache) Access(now uint64, a addr.Addr, write bool) uint64 {
 	set := page % uint64(len(c.sets))
 
 	// Embedded tags: the lookup itself is an HBM read.
-	tagDone := c.dev.HBM.Access(now, c.hbmAddr(set, 0, 0), 64, false)
+	tagDone := c.dev.HBMAccess(now, c.hbmAddr(set, 0, 0), 64, false)
 
 	wi := c.lookup(set, page)
 	if wi >= 0 {
@@ -191,13 +192,13 @@ func (c *Cache) Access(now uint64, a addr.Addr, write bool) uint64 {
 			c.cnt.ServedHBM++
 			if write {
 				w.set(&w.dirty, blk)
-				return c.dev.HBM.Access(tagDone, c.hbmAddr(set, wi, blk), blockBytes, true)
+				return c.dev.HBMAccess(tagDone, c.hbmAddr(set, wi, blk), blockBytes, true)
 			}
-			return c.dev.HBM.Access(tagDone, c.hbmAddr(set, wi, blk), blockBytes, false)
+			return c.dev.HBMAccess(tagDone, c.hbmAddr(set, wi, blk), blockBytes, false)
 		}
 		// Footprint under-prediction: fetch the missing block.
 		done := c.dev.DRAM.Access(tagDone, addr.Addr(page*pageBytes+blk*blockBytes), blockBytes, write)
-		c.dev.HBM.Access(done, c.hbmAddr(set, wi, blk), blockBytes, true)
+		c.dev.HBMAccess(done, c.hbmAddr(set, wi, blk), blockBytes, true)
 		w.set(&w.present, blk)
 		w.set(&w.touched, blk)
 		c.cnt.FetchedBytes += blockBytes
@@ -230,7 +231,7 @@ func (c *Cache) Writeback(now uint64, a addr.Addr) {
 	set := page % uint64(len(c.sets))
 	if wi := c.lookup(set, page); wi >= 0 && c.sets[set][wi].get(&c.sets[set][wi].present, blk) {
 		w := &c.sets[set][wi]
-		c.dev.HBM.Access(now, c.hbmAddr(set, wi, blk), blockBytes, true)
+		c.dev.HBMAccess(now, c.hbmAddr(set, wi, blk), blockBytes, true)
 		w.set(&w.dirty, blk)
 		return
 	}

@@ -107,6 +107,42 @@ type BumblebeeOptions struct {
 	ZombieWindow    uint64  // accesses after which an unchanged head page is a zombie
 }
 
+// Faults configures the deterministic RAS fault injector
+// (internal/faults): transient bit errors with ECC correct/detect-retry
+// semantics, permanent HBM frame failures that retire page frames
+// mid-run, and thermal bandwidth-throttling windows. Rates are expressed
+// per million HBM accesses so they are independent of run length and
+// capacity scale; the injector draws from a seeded generator so the fault
+// schedule is a pure function of the (design, workload, seed) cell.
+type Faults struct {
+	Enabled bool   // master switch; false leaves every HBM access untouched
+	Seed    uint64 // extra seed folded into the per-cell seed (0 = cell seed only)
+
+	// Transient errors: expected ECC events per million HBM accesses.
+	// A DetectFrac share is detect-and-retry (the access is re-issued
+	// after RetryBackoffCycles); the rest are corrected in-line for
+	// CorrectCycles extra latency.
+	TransientPer1M     float64
+	DetectFrac         float64
+	CorrectCycles      uint64
+	RetryBackoffCycles uint64
+
+	// Permanent failures: expected frame retirements per million HBM
+	// accesses. The frame under access fails; at most MaxRetiredFrac of
+	// all HBM frames may retire over a run (predictive retirement keeps
+	// the device serving past that point in the field too).
+	FrameFailPer1M float64
+	MaxRetiredFrac float64
+
+	// Thermal throttling: every ThrottlePeriod HBM accesses, the first
+	// ThrottleDuty share of the period is a throttle window during which
+	// each access pays ThrottlePenaltyCycles extra (reduced bandwidth,
+	// first order).
+	ThrottlePeriod        uint64
+	ThrottleDuty          float64
+	ThrottlePenaltyCycles uint64
+}
+
 // System is a complete simulated machine.
 type System struct {
 	Core   Core
@@ -122,6 +158,22 @@ type System struct {
 	PageFaultNS float64 // OS swap-in penalty for pages beyond OS-visible memory
 
 	Bumblebee BumblebeeOptions
+	Faults    Faults
+}
+
+// DefaultFaults returns the fault-injection knobs at their reference
+// values with injection disabled: HBM2-plausible ECC behaviour (most
+// transients corrected in-line, a quarter detect-and-retry) and a 50%
+// retirement cap. Callers enable injection by setting Enabled and the
+// per-1M rates.
+func DefaultFaults() Faults {
+	return Faults{
+		DetectFrac:            0.25,
+		CorrectCycles:         4,
+		RetryBackoffCycles:    64,
+		MaxRetiredFrac:        0.5,
+		ThrottlePenaltyCycles: 8,
+	}
 }
 
 // Default returns the paper's Table I configuration with Bumblebee's best
@@ -227,6 +279,32 @@ func (s System) Validate() error {
 	}
 	if s.Bumblebee.AllocAllDRAM && s.Bumblebee.AllocAllHBM {
 		return fmt.Errorf("config: Alloc-D and Alloc-H are mutually exclusive")
+	}
+	return s.Faults.Validate()
+}
+
+// Validate checks the fault-injection knobs. Bad values are rejected even
+// when injection is disabled, so a config that flips Enabled on later is
+// already known-good.
+func (f Faults) Validate() error {
+	if f.TransientPer1M < 0 || f.FrameFailPer1M < 0 {
+		return fmt.Errorf("config: fault rates must be non-negative (transient %f, frame %f)",
+			f.TransientPer1M, f.FrameFailPer1M)
+	}
+	for _, frac := range []struct {
+		name string
+		v    float64
+	}{
+		{"fault detect fraction", f.DetectFrac},
+		{"retired frame cap", f.MaxRetiredFrac},
+		{"throttle duty", f.ThrottleDuty},
+	} {
+		if frac.v < 0 || frac.v > 1 {
+			return fmt.Errorf("config: %s %f out of [0,1]", frac.name, frac.v)
+		}
+	}
+	if f.ThrottleDuty > 0 && f.ThrottlePeriod == 0 {
+		return fmt.Errorf("config: throttle duty %f needs a positive throttle period", f.ThrottleDuty)
 	}
 	return nil
 }

@@ -34,6 +34,10 @@ type Bumblebee struct {
 	// AllocOverflow counts aliasing fallbacks when a set is completely
 	// full (OS footprint beyond physical memory).
 	AllocOverflow uint64
+
+	// pendingRetire holds frames the fault injector retired whose
+	// evacuation was deferred by movement-engine contention (see ras.go).
+	pendingRetire []retirement
 }
 
 var _ hmm.MemSystem = (*Bumblebee)(nil)
@@ -133,6 +137,7 @@ func (b *Bumblebee) Counters() hmm.Counters {
 	c.MetaLookups = b.meta.Lookups
 	c.MetaHBM = b.meta.HBMHits
 	c.PageFaults = b.osmem.Faults
+	b.dev.AddRAS(&c)
 	return c
 }
 
@@ -174,6 +179,7 @@ func (b *Bumblebee) off64(a addr.Addr) uint64 {
 // Access implements hmm.MemSystem: the Figure 5 memory access path.
 func (b *Bumblebee) Access(now uint64, a addr.Addr, write bool) uint64 {
 	b.cnt.Requests++
+	b.drainRetirements(now)
 	now = b.osmem.Admit(now, b.geom.PageOf(a))
 	p := b.clampPage(b.geom.PageOf(a))
 	setIdx := b.geom.SetOf(p)
@@ -270,7 +276,7 @@ func (b *Bumblebee) Access(now uint64, a addr.Addr, write bool) uint64 {
 				// fills too — "only blocks in a page whose hotness value
 				// is larger than T are permitted to be cached".
 				b.touchHBMPage(now, setIdx, s, orig)
-				highRh := s.occupiedHBM(b.m) >= b.n
+				highRh := s.occupiedHBM(b.m) >= s.availHBM(b.n)
 				if !highRh || s.hot.hbm.count(orig) > s.hot.hbm.minCount() {
 					b.cacheBlock(now, setIdx, s, w, orig, actual, blk)
 				}

@@ -30,7 +30,7 @@ func (b *Bumblebee) pomRegion() (int, int) {
 func (b *Bumblebee) moveDecision(now uint64, setIdx uint64, s *pset, orig, actual int16, blk uint64, hotness uint32) {
 	nc, na, nn := s.localityCounts(b.halfBlocks)
 	sl := na - nn - nc
-	highRh := s.occupiedHBM(b.m) >= b.n
+	highRh := s.occupiedHBM(b.m) >= s.availHBM(b.n)
 	t := s.hot.hbm.minCount()
 
 	wantMigrate := sl > 0
@@ -475,7 +475,7 @@ func (b *Bumblebee) zombieCheck(now uint64, setIdx uint64, s *pset) {
 	if b.opt.NoHMF {
 		return
 	}
-	if s.occupiedHBM(b.m) < b.n {
+	if s.occupiedHBM(b.m) < s.availHBM(b.n) {
 		s.zombieStale = 0
 		return
 	}

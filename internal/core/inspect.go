@@ -64,8 +64,8 @@ func (b *Bumblebee) Summary(w io.Writer) {
 		}
 	}
 	c := b.Counters()
-	fmt.Fprintf(w, "frames: %d cHBM, %d mHBM, %d free (%d shadow copies, %d sets flushed)\n",
-		cached, mhbm, free, shadows, flushed)
+	fmt.Fprintf(w, "frames: %d cHBM, %d mHBM, %d free (%d shadow copies, %d sets flushed, %d retired)\n",
+		cached, mhbm, free, shadows, flushed, b.RetiredFrameCount())
 	fmt.Fprintf(w, "moves: %d fills, %d migrations, %d switches, %d swaps, %d evictions\n",
 		c.BlockFills, c.PageMigrations, c.ModeSwitches, c.PageSwaps, c.Evictions)
 	fmt.Fprintf(w, "mover: %d started, %d skipped (budget)\n", b.mover.Started, b.mover.Skipped)

@@ -43,6 +43,13 @@ type pset struct {
 
 	bles []ble // indexed by HBM way (slot - m)
 
+	// retired marks HBM frames permanently failed by the RAS fault
+	// injector. A retired way is evacuated once (see retireFrame) and
+	// then excluded from every allocation path; retiredCount shrinks the
+	// set's effective HBM capacity for the Rh full-occupancy checks.
+	retired      []bool
+	retiredCount int
+
 	// aliased marks pages that could not be given a frame (set full at
 	// allocation): they share another page's frame and every access pays
 	// an OS paging penalty.
@@ -72,6 +79,7 @@ func newPset(m, n, blocksPerPage, hotDepth, recentAllocDepth int) *pset {
 		newPLE:      make([]int16, m+n),
 		occupant:    make([]int16, m+n),
 		aliased:     make([]bool, m+n),
+		retired:     make([]bool, n),
 		bles:        make([]ble, n),
 		hot:         newHotTable(n, hotDepth),
 		recentAlloc: make([]int16, recentAllocDepth),
@@ -109,10 +117,13 @@ func (s *pset) findCachedWay(orig int16) int {
 func wayOfSlot(slot int16, m int) int { return int(slot) - m }
 
 // freeHBMWay returns a way whose frame holds nothing and whose page space
-// is unoccupied, restricted to [lo, hi); -1 if none.
+// is unoccupied, restricted to [lo, hi); -1 if none. Retired frames are
+// never free: this is the single gate through which every allocation path
+// (cacheNewPage, migrateToMHBM, allocate) obtains an HBM frame, so
+// skipping them here guarantees a retired frame is never re-allocated.
 func (s *pset) freeHBMWay(m, lo, hi int) int {
 	for w := lo; w < hi; w++ {
-		if s.bles[w].mode == bleFree && s.occupant[m+w] == -1 {
+		if s.bles[w].mode == bleFree && s.occupant[m+w] == -1 && !s.retired[w] {
 			return w
 		}
 	}
@@ -146,11 +157,11 @@ func (s *pset) reclaimShadow(m int) int16 {
 	return -1
 }
 
-// countFreeHBM counts completely free HBM frames.
+// countFreeHBM counts completely free, non-retired HBM frames.
 func (s *pset) countFreeHBM(m int) int {
 	n := 0
 	for w := range s.bles {
-		if s.bles[w].mode == bleFree && s.occupant[m+w] == -1 {
+		if s.bles[w].mode == bleFree && s.occupant[m+w] == -1 && !s.retired[w] {
 			n++
 		}
 	}
@@ -168,6 +179,12 @@ func (s *pset) occupiedHBM(m int) int {
 	}
 	return n
 }
+
+// availHBM returns the set's effective HBM capacity: its n ways minus
+// retired frames. Full-occupancy (Rh) checks compare against this, so a
+// degraded set behaves like a smaller set rather than never reaching
+// pressure thresholds.
+func (s *pset) availHBM(n int) int { return n - s.retiredCount }
 
 // localityCounts returns (Nc, Na, Nn): the number of cHBM pages, mHBM
 // pages with most blocks accessed, and mHBM pages without, for the

@@ -19,6 +19,8 @@ func WriteRunsCSV(w io.Writer, runs []RunResult) error {
 		"page_migrations", "mode_switches", "page_swaps", "evictions",
 		"page_faults", "hbm_bytes", "dram_bytes", "dynamic_pj", "static_pj",
 		"fetched_bytes", "used_bytes",
+		"ecc_corrected", "ecc_retried", "frames_retired", "retired_serves",
+		"throttled_accesses", "retire_migrations", "retire_drops", "retire_deferred",
 	}
 	if err := cw.Write(header); err != nil {
 		return err
@@ -37,6 +39,10 @@ func WriteRunsCSV(w io.Writer, runs []RunResult) error {
 			u(r.HBMBytes), u(r.DRAMBytes),
 			f(r.Energy.TotalPJ()), f(r.Energy.StaticPJ()),
 			u(r.Counters.FetchedBytes), u(r.Counters.UsedBytes),
+			u(r.Counters.ECCCorrected), u(r.Counters.ECCRetried),
+			u(r.Counters.FramesRetired), u(r.Counters.RetiredServes),
+			u(r.Counters.ThrottledAccesses), u(r.Counters.RetireMigrations),
+			u(r.Counters.RetireDrops), u(r.Counters.RetireDeferred),
 		}
 		if err := cw.Write(row); err != nil {
 			return err

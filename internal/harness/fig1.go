@@ -119,7 +119,7 @@ type Fig1Result struct {
 // the harness worker pool with no shared state.
 func (h *Harness) Fig1() ([]Fig1Result, error) {
 	sys := h.System()
-	rows, err := runner.Matrix(h.workers(), Fig1Benchmarks, Fig1LineSizes,
+	rows, err := runner.MatrixTimeout(h.workers(), h.CellTimeout, Fig1Benchmarks, Fig1LineSizes,
 		func(name string, ls uint64) (Fig1Result, error) {
 			b, err := trace.ByName(name)
 			if err != nil {

@@ -54,7 +54,7 @@ func (h *Harness) Fig6() ([]Fig6Result, error) {
 		return nil, err
 	}
 	cfgs := Fig6Configs()
-	speedups, err := runner.Matrix(h.workers(), cfgs, bs,
+	speedups, err := runner.MatrixTimeout(h.workers(), h.CellTimeout, cfgs, bs,
 		func(cfg Fig6Config, b trace.Benchmark) (float64, error) {
 			sys := h.System()
 			sys.BlockBytes = cfg.BlockKB * addr.KiB

@@ -28,7 +28,7 @@ func (h *Harness) Fig7() ([]Fig7Result, error) {
 		return nil, err
 	}
 	vs := Fig7Variants()
-	speedups, err := runner.Matrix(h.workers(), vs, bs,
+	speedups, err := runner.MatrixTimeout(h.workers(), h.CellTimeout, vs, bs,
 		func(v Variant, b trace.Benchmark) (float64, error) {
 			sys := h.System()
 			v.Apply(&sys)

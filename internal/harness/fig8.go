@@ -57,7 +57,7 @@ func (h *Harness) Fig8() (*Fig8Result, error) {
 		DRAM:   &metrics.Table{Title: "Figure 8(c): normalized off-chip DRAM traffic", Columns: Fig8Groups},
 		Energy: &metrics.Table{Title: "Figure 8(d): normalized memory dynamic energy", Columns: Fig8Groups},
 	}
-	runs, err := runner.Matrix(h.workers(), Fig8Designs, bs,
+	runs, err := runner.MatrixTimeout(h.workers(), h.CellTimeout, Fig8Designs, bs,
 		func(d config.Design, b trace.Benchmark) (RunResult, error) {
 			r, err := h.RunDesign(d, b)
 			if err != nil {

@@ -19,11 +19,13 @@ package harness
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/config"
 	"repro/internal/cpu"
 	"repro/internal/energy"
+	"repro/internal/faults"
 	"repro/internal/hmm"
 	"repro/internal/runner"
 	"repro/internal/trace"
@@ -35,6 +37,11 @@ type Harness struct {
 	Accesses uint64 // memory references simulated per benchmark run
 	Parallel int    // worker goroutines per sweep; <= 0 means one per CPU
 	Progress func(format string, args ...any)
+
+	// CellTimeout is the per-cell deadline for every sweep; a cell that
+	// overruns it fails with a runner.CellError instead of hanging the
+	// sweep. <= 0 (the default) disables the deadline.
+	CellTimeout time.Duration
 
 	mu sync.Mutex // serializes Progress calls from concurrent workers
 }
@@ -126,6 +133,15 @@ func (h *Harness) Run(sys config.System, mem hmm.MemSystem, b trace.Benchmark) (
 	if err != nil {
 		return RunResult{}, err
 	}
+	// Fault injection follows the same cell-identity seeding rule: the
+	// injector's schedule depends only on (design, benchmark) plus the
+	// configured fault seed, never on scheduling. faults.New returns nil
+	// when injection is disabled, leaving the device paths untouched.
+	if sys.Faults.Enabled {
+		dev := mem.Devices()
+		dev.AttachFaults(faults.New(sys.Faults, dev.Geom.HBMPages(),
+			runner.Seed("faults", mem.Name(), b.Profile.Name)))
+	}
 	res, err := cpu.Run(sys.Core, hier, mem, &trace.Limit{S: gen, N: h.Accesses})
 	if err != nil {
 		return RunResult{}, err
@@ -165,7 +181,7 @@ type baseline struct {
 }
 
 func (h *Harness) runBaseline(bs []trace.Benchmark) (*baseline, error) {
-	runs, err := runner.Map(h.workers(), bs, func(_ int, b trace.Benchmark) (RunResult, error) {
+	runs, err := runner.MapTimeout(h.workers(), h.CellTimeout, bs, func(_ int, b trace.Benchmark) (RunResult, error) {
 		r, err := h.RunDesign(config.DesignNoHBM, b)
 		if err != nil {
 			return RunResult{}, fmt.Errorf("baseline %s: %w", b.Profile.Name, err)

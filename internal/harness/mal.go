@@ -27,7 +27,7 @@ type MALResult struct {
 // benchmark. Each cell runs its benchmark twice (metadata in SRAM, then in
 // HBM) on the same deterministic stream; cells fan out across the pool.
 func (h *Harness) MAL() ([]MALResult, error) {
-	return runner.Map(h.workers(), h.Benchmarks(), func(_ int, b trace.Benchmark) (MALResult, error) {
+	return runner.MapTimeout(h.workers(), h.CellTimeout, h.Benchmarks(), func(_ int, b trace.Benchmark) (MALResult, error) {
 		sram, err := h.RunDesign(config.DesignBumblebee, b)
 		if err != nil {
 			return MALResult{}, fmt.Errorf("mal %s: %w", b.Profile.Name, err)

@@ -79,7 +79,7 @@ func (h *Harness) Mix(names []string) ([]MixResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return runner.Map(h.workers(), Fig8Designs, func(_ int, d config.Design) (MixResult, error) {
+	return runner.MapTimeout(h.workers(), h.CellTimeout, Fig8Designs, func(_ int, d config.Design) (MixResult, error) {
 		res, err := h.runMix(d, names)
 		if err != nil {
 			return MixResult{}, fmt.Errorf("mix %s: %w", d, err)

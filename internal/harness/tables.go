@@ -49,7 +49,7 @@ type Table2Row struct {
 // Table2 measures the MPKI and footprint our synthetic stand-ins actually
 // produce, next to the paper's reported values. One benchmark per cell.
 func (h *Harness) Table2() ([]Table2Row, error) {
-	return runner.Map(h.workers(), h.Benchmarks(), func(_ int, b trace.Benchmark) (Table2Row, error) {
+	return runner.MapTimeout(h.workers(), h.CellTimeout, h.Benchmarks(), func(_ int, b trace.Benchmark) (Table2Row, error) {
 		r, err := h.RunDesign(config.DesignNoHBM, b)
 		if err != nil {
 			return Table2Row{}, fmt.Errorf("table2 %s: %w", b.Profile.Name, err)
@@ -115,7 +115,7 @@ func (h *Harness) Overfetch() (OverfetchResult, error) {
 		fetchedB, usedB, fetchedH, usedH uint64
 	}
 	var res OverfetchResult
-	cells, err := runner.Map(h.workers(), h.Benchmarks(), func(_ int, b trace.Benchmark) (cellOut, error) {
+	cells, err := runner.MapTimeout(h.workers(), h.CellTimeout, h.Benchmarks(), func(_ int, b trace.Benchmark) (cellOut, error) {
 		rb, err := h.RunDesign(config.DesignBumblebee, b)
 		if err != nil {
 			return cellOut{}, fmt.Errorf("overfetch %s: %w", b.Profile.Name, err)

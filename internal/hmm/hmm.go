@@ -12,6 +12,7 @@ import (
 	"repro/internal/addr"
 	"repro/internal/config"
 	"repro/internal/dram"
+	"repro/internal/faults"
 )
 
 // MemSystem is a hybrid memory design as seen by the CPU model: it
@@ -56,6 +57,20 @@ type Counters struct {
 
 	FetchedBytes uint64 // bytes brought into HBM by fills/migrations
 	UsedBytes    uint64 // of those, bytes actually touched before eviction
+
+	// RAS counters, populated only when a fault injector is attached
+	// (internal/faults). The first five mirror the injector's event
+	// counts; the Retire* counters are maintained by RAS-aware designs
+	// (today core.Bumblebee) and stay zero for fault-oblivious baselines —
+	// the measurable degradation gap.
+	ECCCorrected      uint64 // transient errors corrected in-line
+	ECCRetried        uint64 // transient errors that forced a detect-retry
+	FramesRetired     uint64 // HBM frames permanently retired
+	RetiredServes     uint64 // accesses served from an already-retired frame
+	ThrottledAccesses uint64 // accesses inside a thermal throttle window
+	RetireMigrations  uint64 // mHBM pages migrated to DRAM before frame retirement
+	RetireDrops       uint64 // cHBM frames dropped (written back) on retirement
+	RetireDeferred    uint64 // retirements deferred waiting for mover bandwidth
 }
 
 // HBMServeRate returns the fraction of demand requests served from HBM.
@@ -88,6 +103,49 @@ type Devices struct {
 	HBM  *dram.Device
 	DRAM *dram.Device
 	Geom *addr.Geometry
+
+	// RAS is the optional fault injector. When nil (the default) every
+	// HBM access passes straight to the device model, byte-identical to
+	// the pre-RAS behaviour; when set, every HBM access — demand, fill,
+	// migration, metadata — is routed through the injector's hook.
+	RAS *faults.Injector
+}
+
+// AttachFaults installs a fault injector on the HBM access path. A nil
+// injector (disabled config) is a no-op.
+func (d *Devices) AttachFaults(inj *faults.Injector) { d.RAS = inj }
+
+// AddRAS merges the injector's event counters into c; without an injector
+// the RAS fields stay zero. Every design's Counters() calls this so RAS
+// events surface uniformly in run results.
+func (d *Devices) AddRAS(c *Counters) {
+	if d.RAS == nil {
+		return
+	}
+	r := d.RAS.Counters()
+	c.ECCCorrected = r.ECCCorrected
+	c.ECCRetried = r.ECCRetried
+	c.FramesRetired = r.FramesRetired
+	c.RetiredServes = r.RetiredServes
+	c.ThrottledAccesses = r.ThrottledAccesses
+}
+
+// HBMAccess reads or writes bytes at device-local HBM address a, routing
+// the access through the fault injector when one is attached: thermal
+// throttle windows and ECC corrections delay the start, and a detect-retry
+// re-issues the whole access after a backoff. Designs must use this (or
+// the page-frame wrappers below) for all HBM traffic rather than calling
+// the device model directly, or they escape fault injection.
+func (d *Devices) HBMAccess(now uint64, a addr.Addr, bytes uint64, write bool) uint64 {
+	if d.RAS == nil {
+		return d.HBM.Access(now, a, bytes, write)
+	}
+	start, retries := d.RAS.Before(now, uint64(a)/d.Geom.PageSize)
+	end := d.HBM.Access(start, a, bytes, write)
+	for r := 0; r < retries; r++ {
+		end = d.HBM.Access(end+d.RAS.BackoffCycles(), a, bytes, write)
+	}
+	return end
 }
 
 // NewDevices builds the device bundle for a system configuration.
@@ -130,12 +188,12 @@ func (d *Devices) DRAMPageBase(i uint64) addr.Addr {
 
 // ReadHBM reads bytes from HBM page frame page at byte offset off.
 func (d *Devices) ReadHBM(now, page, off, bytes uint64) uint64 {
-	return d.HBM.Access(now, d.HBMPageBase(page)+addr.Addr(off), bytes, false)
+	return d.HBMAccess(now, d.HBMPageBase(page)+addr.Addr(off), bytes, false)
 }
 
 // WriteHBM writes bytes to HBM page frame page at byte offset off.
 func (d *Devices) WriteHBM(now, page, off, bytes uint64) uint64 {
-	return d.HBM.Access(now, d.HBMPageBase(page)+addr.Addr(off), bytes, true)
+	return d.HBMAccess(now, d.HBMPageBase(page)+addr.Addr(off), bytes, true)
 }
 
 // ReadDRAM reads bytes from DRAM page frame page at byte offset off.
@@ -150,7 +208,7 @@ func (d *Devices) WriteDRAM(now, page, off, bytes uint64) uint64 {
 
 // AccessHBM reads or writes bytes in HBM page frame page.
 func (d *Devices) AccessHBM(now, page, off, bytes uint64, write bool) uint64 {
-	return d.HBM.Access(now, d.HBMPageBase(page)+addr.Addr(off), bytes, write)
+	return d.HBMAccess(now, d.HBMPageBase(page)+addr.Addr(off), bytes, write)
 }
 
 // AccessDRAM reads or writes bytes in DRAM page frame page.

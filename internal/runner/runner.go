@@ -18,10 +18,12 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 )
 
 // fnv1a constants (64-bit).
@@ -97,6 +99,18 @@ func (es Errors) or() error {
 // zero output value). A panic inside fn is recovered and reported as that
 // cell's error, so one bad cell cannot take down the whole sweep.
 func Map[I, O any](workers int, items []I, fn func(i int, item I) (O, error)) ([]O, error) {
+	return MapTimeout(workers, 0, items, fn)
+}
+
+// MapTimeout is Map with a per-cell deadline. timeout <= 0 disables the
+// deadline (cells run inline on the worker, exactly like Map). With a
+// deadline, each cell runs in its own goroutine under a context; a cell
+// that overruns surfaces as a CellError wrapping context.DeadlineExceeded
+// and the sweep moves on instead of deadlocking. The overrunning
+// goroutine itself cannot be killed — it is abandoned and its eventual
+// result discarded (it only ever writes to a private buffered channel, so
+// it cannot race with the assembled output).
+func MapTimeout[I, O any](workers int, timeout time.Duration, items []I, fn func(i int, item I) (O, error)) ([]O, error) {
 	if workers <= 0 {
 		workers = DefaultWorkers()
 	}
@@ -113,7 +127,7 @@ func Map[I, O any](workers int, items []I, fn func(i int, item I) (O, error)) ([
 		mu   sync.Mutex
 		wg   sync.WaitGroup
 	)
-	runCell := func(i int) {
+	runInline := func(i int) {
 		defer func() {
 			if r := recover(); r != nil {
 				errs[i] = &CellError{Index: i, Err: fmt.Errorf("panic: %v", r)}
@@ -125,6 +139,38 @@ func Map[I, O any](workers int, items []I, fn func(i int, item I) (O, error)) ([
 			return
 		}
 		out[i] = v
+	}
+	runCell := func(i int) {
+		if timeout <= 0 {
+			runInline(i)
+			return
+		}
+		type result struct {
+			v   O
+			err error
+		}
+		ch := make(chan result, 1) // buffered: an abandoned cell's send never blocks
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					ch <- result{err: fmt.Errorf("panic: %v", r)}
+				}
+			}()
+			v, err := fn(i, items[i])
+			ch <- result{v: v, err: err}
+		}()
+		select {
+		case res := <-ch:
+			if res.err != nil {
+				errs[i] = &CellError{Index: i, Err: res.err}
+				return
+			}
+			out[i] = res.v
+		case <-ctx.Done():
+			errs[i] = &CellError{Index: i, Err: fmt.Errorf("timed out after %v: %w", timeout, ctx.Err())}
+		}
 	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -158,6 +204,11 @@ func Map[I, O any](workers int, items []I, fn func(i int, item I) (O, error)) ([
 // like Map, all cells run even when some fail, and the error aggregates
 // every failure.
 func Matrix[R, C, O any](workers int, rows []R, cols []C, fn func(r R, c C) (O, error)) ([][]O, error) {
+	return MatrixTimeout(workers, 0, rows, cols, fn)
+}
+
+// MatrixTimeout is Matrix with a per-cell deadline (see MapTimeout).
+func MatrixTimeout[R, C, O any](workers int, timeout time.Duration, rows []R, cols []C, fn func(r R, c C) (O, error)) ([][]O, error) {
 	type cell struct{ ri, ci int }
 	cells := make([]cell, 0, len(rows)*len(cols))
 	for ri := range rows {
@@ -165,7 +216,7 @@ func Matrix[R, C, O any](workers int, rows []R, cols []C, fn func(r R, c C) (O, 
 			cells = append(cells, cell{ri, ci})
 		}
 	}
-	flat, err := Map(workers, cells, func(_ int, c cell) (O, error) {
+	flat, err := MapTimeout(workers, timeout, cells, func(_ int, c cell) (O, error) {
 		return fn(rows[c.ri], cols[c.ci])
 	})
 	out := make([][]O, len(rows))

@@ -1,11 +1,13 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestSeedStable(t *testing.T) {
@@ -176,5 +178,90 @@ func TestMatrixErrorIndexing(t *testing.T) {
 	}
 	if agg[0].Index != 5 { // row-major flattening: 1*3+2
 		t.Errorf("failed cell index %d, want 5", agg[0].Index)
+	}
+}
+
+func TestMapTimeoutHungCell(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	items := []int{0, 1, 2, 3}
+	out, err := MapTimeout(2, 50*time.Millisecond, items, func(_ int, v int) (int, error) {
+		if v == 1 {
+			<-release // hangs far past the deadline
+		}
+		return v + 10, nil
+	})
+	if err == nil {
+		t.Fatal("expected the hung cell to surface as an error")
+	}
+	var agg Errors
+	if !errors.As(err, &agg) || len(agg) != 1 {
+		t.Fatalf("err = %v", err)
+	}
+	if agg[0].Index != 1 {
+		t.Errorf("failed cell %d, want 1", agg[0].Index)
+	}
+	if !errors.Is(agg[0], context.DeadlineExceeded) {
+		t.Errorf("cell error does not unwrap to DeadlineExceeded: %v", agg[0])
+	}
+	// The hung cell must not block its worker: every other cell completed.
+	for _, i := range []int{0, 2, 3} {
+		if out[i] != i+10 {
+			t.Errorf("cell %d lost its result: %d", i, out[i])
+		}
+	}
+}
+
+func TestMapTimeoutPassthrough(t *testing.T) {
+	// A generous deadline changes nothing: results, order and errors are
+	// exactly Map's.
+	items := []int{0, 1, 2}
+	out, err := MapTimeout(2, time.Minute, items, func(_ int, v int) (int, error) {
+		if v == 1 {
+			return 0, errors.New("boom")
+		}
+		return v * 2, nil
+	})
+	var agg Errors
+	if !errors.As(err, &agg) || len(agg) != 1 || agg[0].Index != 1 {
+		t.Fatalf("err = %v", err)
+	}
+	if out[0] != 0 || out[2] != 4 {
+		t.Errorf("out = %v", out)
+	}
+}
+
+func TestMapTimeoutPanicRecovered(t *testing.T) {
+	out, err := MapTimeout(2, time.Minute, []int{0, 1}, func(_ int, v int) (string, error) {
+		if v == 1 {
+			panic("cell exploded")
+		}
+		return "ok", nil
+	})
+	if err == nil {
+		t.Fatal("expected panic to surface as error")
+	}
+	if out[0] != "ok" {
+		t.Errorf("surviving cell lost its result: %v", out)
+	}
+}
+
+func TestMatrixTimeoutHungCell(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	rows := []int{0, 1}
+	cols := []int{0, 1}
+	out, err := MatrixTimeout(2, 50*time.Millisecond, rows, cols, func(r, c int) (int, error) {
+		if r == 1 && c == 0 {
+			<-release
+		}
+		return r*10 + c, nil
+	})
+	var agg Errors
+	if !errors.As(err, &agg) || len(agg) != 1 || agg[0].Index != 2 {
+		t.Fatalf("err = %v", err)
+	}
+	if out[0][0] != 0 || out[0][1] != 1 || out[1][1] != 11 {
+		t.Errorf("out = %v", out)
 	}
 }
