@@ -5,8 +5,8 @@
 //	bbrepro -experiment fig8 -scale 128 -accesses 1500000
 //
 // Experiments: table1, table2, fig1, fig6, fig7, fig8, metadata,
-// overfetch, all; figfault (the RAS fault sweep) runs only when requested
-// by name.
+// overfetch, all; figfault (the RAS fault sweep) and check (the deep
+// lockstep differential-oracle sweep) run only when requested by name.
 package main
 
 import (
@@ -17,6 +17,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/check"
 	"repro/internal/harness"
 	"repro/internal/metrics"
 )
@@ -55,7 +56,7 @@ func parseRates(s string) ([]float64, error) {
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "all", "which experiment to run (table1,table2,fig1,fig6,fig7,fig8,mal,mix,metadata,overfetch,figfault,all)")
+		experiment  = flag.String("experiment", "all", "which experiment to run (table1,table2,fig1,fig6,fig7,fig8,mal,mix,metadata,overfetch,figfault,check,all)")
 		scale       = flag.Uint64("scale", 128, "capacity scale factor versus Table I")
 		accesses    = flag.Uint64("accesses", 1_500_000, "memory references per benchmark run")
 		parallel    = flag.Int("parallel", runtime.NumCPU(), "worker goroutines per sweep (results are identical at any value)")
@@ -105,10 +106,10 @@ func main() {
 
 	known := map[string]bool{"table1": true, "table2": true, "fig1": true, "fig6": true,
 		"fig7": true, "fig8": true, "mal": true, "mix": true, "metadata": true, "overfetch": true,
-		"figfault": true, "all": true}
+		"figfault": true, "check": true, "all": true}
 	if !known[*experiment] {
 		fmt.Fprintf(os.Stderr, "bbrepro: unknown experiment %q (want %s)\n",
-			*experiment, strings.Join([]string{"table1", "table2", "fig1", "fig6", "fig7", "fig8", "mal", "mix", "metadata", "overfetch", "figfault", "all"}, ", "))
+			*experiment, strings.Join([]string{"table1", "table2", "fig1", "fig6", "fig7", "fig8", "mal", "mix", "metadata", "overfetch", "figfault", "check", "all"}, ", "))
 		os.Exit(2)
 	}
 	if *csvDir != "" {
@@ -238,6 +239,26 @@ func main() {
 				return writeCSV(*csvDir+"/figfault_sweep.csv", func(w *os.File) error {
 					return harness.WriteFigFaultCSV(w, res)
 				})
+			}
+			return nil
+		})
+	}
+	// The lockstep differential oracle is a correctness sweep, not a paper
+	// figure, so like figfault it runs only when requested by name. Output
+	// is deterministic at any -parallel value; the process exits nonzero
+	// when any cell reports a violation.
+	if *experiment == "check" {
+		run("check", func() error {
+			s := check.DefaultSuite(h.System(), int(*accesses))
+			s.Parallel = *parallel
+			s.Timeout = *cellTimeout
+			res, err := s.Run()
+			if err != nil {
+				return err
+			}
+			fmt.Print(check.Table(res))
+			if bad := check.Violations(res); len(bad) > 0 {
+				return fmt.Errorf("%d of %d cells reported violations", len(bad), len(res))
 			}
 			return nil
 		})

@@ -27,69 +27,13 @@ func newBB(t testing.TB, sys config.System) *Bumblebee {
 }
 
 // checkInvariants asserts the PRT/BLE/occupant cross-structure
-// consistency that every mutation must preserve.
+// consistency that every mutation must preserve. The logic lives in the
+// exported CheckInvariants (hmm.Inspector) so the lockstep differential
+// checker in internal/check runs the same assertions mid-workload.
 func checkInvariants(t *testing.T, b *Bumblebee) {
 	t.Helper()
-	for si, s := range b.sets {
-		// occupant and newPLE must be inverse of each other, except that a
-		// DRAM slot may be held as the shadow copy of an mHBM page.
-		for slot, o := range s.occupant {
-			if o < 0 {
-				continue
-			}
-			if s.newPLE[o] == int16(slot) {
-				continue
-			}
-			home := s.newPLE[o]
-			if home >= int16(b.m) {
-				w := wayOfSlot(home, b.m)
-				if s.bles[w].mode == bleMHBM && s.bles[w].orig == o && s.bles[w].shadow == int16(slot) {
-					continue // slot reserved as o's shadow
-				}
-			}
-			t.Fatalf("set %d: occupant[%d]=%d but newPLE[%d]=%d and no shadow",
-				si, slot, o, o, s.newPLE[o])
-		}
-		cachedSeen := map[int16]bool{}
-		for w := range s.bles {
-			e := &s.bles[w]
-			slot := int16(b.m + w)
-			switch e.mode {
-			case bleMHBM:
-				if s.occupant[slot] != e.orig {
-					t.Fatalf("set %d way %d: mHBM page %d but occupant %d",
-						si, w, e.orig, s.occupant[slot])
-				}
-			case bleCached:
-				if cachedSeen[e.orig] {
-					t.Fatalf("set %d: page %d cached twice", si, e.orig)
-				}
-				cachedSeen[e.orig] = true
-				home := s.newPLE[e.orig]
-				if home < 0 || b.geom.IsHBMSlot(uint64(home)) {
-					t.Fatalf("set %d way %d: cached page %d has non-DRAM home %d",
-						si, w, e.orig, home)
-				}
-				if s.occupant[slot] != -1 {
-					t.Fatalf("set %d way %d: cached frame marked occupied by %d",
-						si, w, s.occupant[slot])
-				}
-			case bleFree:
-				if e.valid.popcount() != 0 || e.dirty.popcount() != 0 {
-					t.Fatalf("set %d way %d: free frame has stale bits", si, w)
-				}
-			}
-		}
-		// Every HBM hot-queue entry must name an HBM-resident page.
-		for _, e := range s.hot.hbm.entries {
-			slot := s.newPLE[e.orig]
-			resident := (slot >= int16(b.m) && s.occupant[slot] == e.orig) ||
-				s.findCachedWay(e.orig) >= 0
-			if !resident {
-				t.Fatalf("set %d: hot HBM entry %d not HBM-resident (slot %d)",
-					si, e.orig, slot)
-			}
-		}
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"repro/internal/addr"
+	"repro/internal/hmm"
 )
 
 // DumpSet writes a human-readable snapshot of one remapping set: the BLE
@@ -45,6 +48,193 @@ func dumpQueue(q *hotQueue) string {
 		parts = append(parts, fmt.Sprintf("%d:%d", e.orig, e.count))
 	}
 	return strings.Join(parts, " ") + "  (LRU..MRU, orig:count)"
+}
+
+var _ hmm.Inspector = (*Bumblebee)(nil)
+
+// InspectGranularity implements hmm.Inspector.
+func (b *Bumblebee) InspectGranularity() uint64 { return b.geom.PageSize }
+
+// InspectAddr implements hmm.Inspector: a read-only PRT/BLE walk for the
+// page holding a. Unlike Access it never allocates, so the result for an
+// untouched page is Allocated=false.
+func (b *Bumblebee) InspectAddr(a addr.Addr) hmm.PageInfo {
+	p := b.clampPage(b.geom.PageOf(a))
+	setIdx := b.geom.SetOf(p)
+	s := b.sets[setIdx]
+	orig := int16(b.geom.SlotOf(p))
+	info := hmm.PageInfo{Page: p}
+	slot := s.newPLE[orig]
+	if slot < 0 {
+		return info
+	}
+	info.Allocated = true
+	info.Aliased = s.aliased[orig]
+	if b.geom.IsHBMSlot(uint64(slot)) {
+		info.Home = hmm.TierHBM
+		info.HomeFrame = b.geom.HBMFrameOfSlot(setIdx, uint64(slot))
+		return info
+	}
+	info.Home = hmm.TierDRAM
+	info.HomeFrame = b.geom.DRAMFrameOfSlot(setIdx, uint64(slot))
+	if w := s.findCachedWay(orig); w >= 0 {
+		info.HasCache = true
+		info.CacheFrame = b.geom.HBMFrameOfSlot(setIdx, uint64(b.m+w))
+	}
+	return info
+}
+
+// LocateLine implements hmm.Inspector: it replays the Figure 5 serve
+// decision (mHBM slot → HBM; cached block → HBM; otherwise off-chip
+// DRAM) without side effects.
+func (b *Bumblebee) LocateLine(a addr.Addr) hmm.Tier {
+	p := b.clampPage(b.geom.PageOf(a))
+	s := b.sets[b.geom.SetOf(p)]
+	orig := int16(b.geom.SlotOf(p))
+	slot := s.newPLE[orig]
+	if slot < 0 {
+		return hmm.TierNone
+	}
+	if b.geom.IsHBMSlot(uint64(slot)) {
+		return hmm.TierHBM
+	}
+	blk := b.geom.BlockInPage(a)
+	if w := s.findCachedWay(orig); w >= 0 && s.bles[w].valid.get(blk) {
+		return hmm.TierHBM
+	}
+	return hmm.TierDRAM
+}
+
+// CheckInvariants implements hmm.Inspector: the PRT/BLE/occupant
+// cross-structure consistency that every mutation must preserve, plus the
+// retirement quarantine (VerifyRetired) and counter-accounting sanity.
+//
+// One asymmetry is deliberate: the occupant→newPLE direction is always
+// enforced, but newPLE→occupant only in sets that have never aliased a
+// page. An aliased page shares a victim's frame without an occupant
+// claim, and its later migration or swap can legitimately leave the
+// victim's newPLE entry dangling — the documented degraded mode of
+// allocation overflow.
+func (b *Bumblebee) CheckInvariants() error {
+	for si, s := range b.sets {
+		anyAliased := false
+		for _, al := range s.aliased {
+			if al {
+				anyAliased = true
+				break
+			}
+		}
+		// occupant and newPLE must be inverse of each other, except that a
+		// DRAM slot may be held as the shadow copy of an mHBM page.
+		for slot, o := range s.occupant {
+			if o < 0 {
+				continue
+			}
+			if s.newPLE[o] == int16(slot) {
+				continue
+			}
+			home := s.newPLE[o]
+			if home >= int16(b.m) {
+				w := wayOfSlot(home, b.m)
+				if s.bles[w].mode == bleMHBM && s.bles[w].orig == o && s.bles[w].shadow == int16(slot) {
+					continue // slot reserved as o's shadow
+				}
+			}
+			return fmt.Errorf("core: set %d: occupant[%d]=%d but newPLE[%d]=%d and no shadow",
+				si, slot, o, o, s.newPLE[o])
+		}
+		for o, slot := range s.newPLE {
+			if slot < 0 {
+				if s.aliased[o] {
+					return fmt.Errorf("core: set %d: page %d aliased but unallocated", si, o)
+				}
+				continue
+			}
+			if !anyAliased && s.occupant[slot] != int16(o) {
+				return fmt.Errorf("core: set %d: newPLE[%d]=%d but occupant[%d]=%d (no aliasing to excuse it)",
+					si, o, slot, slot, s.occupant[slot])
+			}
+		}
+		cachedSeen := make(map[int16]bool)
+		retiredCount := 0
+		for w := range s.bles {
+			e := &s.bles[w]
+			slot := int16(b.m + w)
+			if s.retired[w] {
+				retiredCount++
+				if e.mode != bleFree || s.occupant[slot] != -1 {
+					return fmt.Errorf("core: set %d way %d: retired frame still allocated (mode=%d occupant=%d)",
+						si, w, e.mode, s.occupant[slot])
+				}
+			}
+			if e.mode != bleMHBM && e.shadow != -1 {
+				return fmt.Errorf("core: set %d way %d: non-mHBM frame has shadow %d", si, w, e.shadow)
+			}
+			switch e.mode {
+			case bleMHBM:
+				if s.occupant[slot] != e.orig {
+					return fmt.Errorf("core: set %d way %d: mHBM page %d but occupant %d",
+						si, w, e.orig, s.occupant[slot])
+				}
+				if e.shadow >= int16(b.m) {
+					return fmt.Errorf("core: set %d way %d: shadow %d is not a DRAM slot", si, w, e.shadow)
+				}
+			case bleCached:
+				if cachedSeen[e.orig] {
+					return fmt.Errorf("core: set %d: page %d cached twice", si, e.orig)
+				}
+				cachedSeen[e.orig] = true
+				home := s.newPLE[e.orig]
+				if home < 0 || b.geom.IsHBMSlot(uint64(home)) {
+					return fmt.Errorf("core: set %d way %d: cached page %d has non-DRAM home %d",
+						si, w, e.orig, home)
+				}
+				if s.occupant[slot] != -1 {
+					return fmt.Errorf("core: set %d way %d: cached frame marked occupied by %d",
+						si, w, s.occupant[slot])
+				}
+			case bleFree:
+				if e.valid.popcount() != 0 || e.dirty.popcount() != 0 {
+					return fmt.Errorf("core: set %d way %d: free frame has stale valid/dirty bits", si, w)
+				}
+			}
+		}
+		if retiredCount != s.retiredCount {
+			return fmt.Errorf("core: set %d: retiredCount=%d but %d retired ways",
+				si, s.retiredCount, retiredCount)
+		}
+		// Every HBM hot-queue entry must name an HBM-resident page.
+		for _, e := range s.hot.hbm.entries {
+			slot := s.newPLE[e.orig]
+			resident := (slot >= int16(b.m) && s.occupant[slot] == e.orig) ||
+				s.findCachedWay(e.orig) >= 0
+			if !resident {
+				return fmt.Errorf("core: set %d: hot HBM entry %d not HBM-resident (slot %d)",
+					si, e.orig, slot)
+			}
+		}
+	}
+	// Counter accounting: each access is served from exactly one tier, and
+	// each retired data frame is evacuated at most once (a drop or a
+	// migration, never both, never more than the injector retired). A
+	// violation here means an underflow or double-count crept into the
+	// retirement path.
+	c := b.Counters()
+	if c.ServedHBM+c.ServedDRAM != c.Requests {
+		return fmt.Errorf("core: served %d HBM + %d DRAM != %d requests",
+			c.ServedHBM, c.ServedDRAM, c.Requests)
+	}
+	if b.dev.RAS != nil {
+		if c.RetireDrops+c.RetireMigrations > c.FramesRetired {
+			return fmt.Errorf("core: retire drops %d + migrations %d exceed %d retired frames",
+				c.RetireDrops, c.RetireMigrations, c.FramesRetired)
+		}
+		if uint64(b.RetiredFrameCount()) > c.FramesRetired {
+			return fmt.Errorf("core: %d quarantined frames exceed %d injector retirements",
+				b.RetiredFrameCount(), c.FramesRetired)
+		}
+	}
+	return b.VerifyRetired()
 }
 
 // Summary writes a one-screen overview of the controller's state: frame

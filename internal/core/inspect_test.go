@@ -1,0 +1,118 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/hmm"
+)
+
+// findWayInMode returns the first (set, way) whose BLE is in mode, or
+// (nil, -1).
+func findWayInMode(b *Bumblebee, mode bleMode) (*pset, int) {
+	for _, s := range b.sets {
+		for w := range s.bles {
+			if s.bles[w].mode == mode {
+				return s, w
+			}
+		}
+	}
+	return nil, -1
+}
+
+// TestCheckInvariantsCatchesSkippedInvalidate corrupts a live controller
+// the way a buggy eviction would — freeing a BLE without invalidating its
+// valid/dirty bits — and requires CheckInvariants to catch it. This is
+// the mutation-detection guarantee the lockstep checker builds on.
+func TestCheckInvariantsCatchesSkippedInvalidate(t *testing.T) {
+	b := newBB(t, testSys())
+	runWorkload(t, b, hotSeq, 60_000)
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatalf("healthy controller reports violation: %v", err)
+	}
+
+	s, w := findWayInMode(b, bleCached)
+	if w < 0 {
+		t.Fatal("workload produced no cached way to corrupt")
+	}
+	// Skip the invalidate: mode goes free but the bit vectors stay set.
+	saved := s.bles[w]
+	s.bles[w].mode = bleFree
+	s.bles[w].orig = -1
+	err := b.CheckInvariants()
+	if err == nil {
+		t.Fatal("skipped BLE invalidate not caught")
+	}
+	if !strings.Contains(err.Error(), "stale") && !strings.Contains(err.Error(), "hot HBM entry") {
+		t.Fatalf("unexpected violation for skipped invalidate: %v", err)
+	}
+	s.bles[w] = saved
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatalf("restore failed: %v", err)
+	}
+}
+
+// TestCheckInvariantsCatchesOccupancyDesync clears the occupant bit under
+// a live mHBM page — the PRT↔occupancy desync class.
+func TestCheckInvariantsCatchesOccupancyDesync(t *testing.T) {
+	b := newBB(t, testSys())
+	runWorkload(t, b, hotSeq, 60_000)
+
+	s, w := findWayInMode(b, bleMHBM)
+	if w < 0 {
+		t.Fatal("workload produced no mHBM way to corrupt")
+	}
+	slot := int16(b.m + w)
+	saved := s.occupant[slot]
+	s.occupant[slot] = -1
+	if err := b.CheckInvariants(); err == nil {
+		t.Fatal("occupancy desync not caught")
+	}
+	s.occupant[slot] = saved
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatalf("restore failed: %v", err)
+	}
+}
+
+// TestInspectAgreesWithLocate cross-checks the two read-only views: a
+// line can only be served from HBM if its page is HBM-homed or has a
+// cache copy, and InspectAddr must be side-effect free.
+func TestInspectAgreesWithLocate(t *testing.T) {
+	b := newBB(t, testSys())
+	runWorkload(t, b, hotScatter, 60_000)
+
+	if g := b.InspectGranularity(); g != b.geom.PageSize {
+		t.Fatalf("granularity %d, want page size %d", g, b.geom.PageSize)
+	}
+	pages := b.geom.DRAMPages() + b.geom.HBMPages()
+	for p := uint64(0); p < pages; p += 7 {
+		a := b.geom.PageAddr(p)
+		before := b.Counters()
+		info := b.InspectAddr(a)
+		tier := b.LocateLine(a)
+		if b.Counters() != before {
+			t.Fatalf("page %d: inspection mutated counters", p)
+		}
+		if info.Page != p {
+			t.Fatalf("page %d: canonical id %d", p, info.Page)
+		}
+		switch {
+		case !info.Allocated:
+			if tier != hmm.TierNone {
+				t.Fatalf("page %d: unallocated but LocateLine=%v", p, tier)
+			}
+		case info.Home == hmm.TierHBM:
+			if tier != hmm.TierHBM {
+				t.Fatalf("page %d: HBM-homed but LocateLine=%v", p, tier)
+			}
+		default:
+			if tier == hmm.TierHBM && !info.HasCache {
+				t.Fatalf("page %d: DRAM-homed, uncached, but LocateLine=hbm", p)
+			}
+		}
+		// A cached copy never coincides with an HBM home claim.
+		if info.HasCache && info.Home != hmm.TierDRAM {
+			t.Fatalf("page %d: cache copy on a non-DRAM-homed page", p)
+		}
+	}
+}

@@ -36,6 +36,65 @@ func TestAdd(t *testing.T) {
 	}
 }
 
+func TestFromStatsTable(t *testing.T) {
+	cases := []struct {
+		name              string
+		hbm, ddr          dram.Stats
+		wantHBM, wantDRAM float64
+		wantTotal, wantMJ float64
+	}{
+		{"all zero", dram.Stats{}, dram.Stats{}, 0, 0, 0, 0},
+		{"HBM only", dram.Stats{ActEnergyPJ: 1, ReadEnergyPJ: 2, WriteEnergyPJ: 4}, dram.Stats{}, 7, 0, 7, 7e-9},
+		{"DRAM only", dram.Stats{}, dram.Stats{ActEnergyPJ: 8, ReadEnergyPJ: 16, WriteEnergyPJ: 32}, 0, 56, 56, 56e-9},
+		{"both", dram.Stats{ReadEnergyPJ: 1e9}, dram.Stats{WriteEnergyPJ: 1e9}, 1e9, 1e9, 2e9, 2},
+	}
+	for _, tc := range cases {
+		b := FromStats(tc.hbm, tc.ddr)
+		if b.HBMPJ() != tc.wantHBM || b.DRAMPJ() != tc.wantDRAM {
+			t.Errorf("%s: HBM=%f DRAM=%f, want %f/%f", tc.name, b.HBMPJ(), b.DRAMPJ(), tc.wantHBM, tc.wantDRAM)
+		}
+		if b.TotalPJ() != tc.wantTotal {
+			t.Errorf("%s: total = %f, want %f", tc.name, b.TotalPJ(), tc.wantTotal)
+		}
+		if b.TotalMJ() != tc.wantMJ {
+			t.Errorf("%s: mJ = %g, want %g", tc.name, b.TotalMJ(), tc.wantMJ)
+		}
+		// FromStats must never populate static fields: they are set only
+		// by WithStatic, so dynamic-vs-static stays separable.
+		if b.StaticPJ() != 0 || b.TotalWithStaticPJ() != b.TotalPJ() {
+			t.Errorf("%s: FromStats leaked static energy: %+v", tc.name, b)
+		}
+	}
+}
+
+func TestAddChain(t *testing.T) {
+	// Accumulating run-by-run (as the Figure 8 harness does) must equal
+	// one big sum regardless of association order.
+	parts := []Breakdown{
+		{HBMActivatePJ: 1, DRAMReadPJ: 2, HBMStaticPJ: 3},
+		{HBMReadPJ: 4, DRAMWritePJ: 5, DRAMStaticPJ: 6},
+		{HBMWritePJ: 7, DRAMActivatePJ: 8},
+	}
+	var left Breakdown
+	for _, p := range parts {
+		left = left.Add(p)
+	}
+	right := parts[0].Add(parts[1].Add(parts[2]))
+	if left != right {
+		t.Errorf("Add not associative: %+v vs %+v", left, right)
+	}
+	if left.TotalWithStaticPJ() != 1+2+3+4+5+6+7+8 {
+		t.Errorf("chain total = %f, want 36", left.TotalWithStaticPJ())
+	}
+}
+
+func TestWithStaticZero(t *testing.T) {
+	b := FromStats(dram.Stats{ReadEnergyPJ: 9}, dram.Stats{})
+	if got := b.WithStatic(0, 0); got != b {
+		t.Errorf("WithStatic(0,0) changed the breakdown: %+v vs %+v", got, b)
+	}
+}
+
 func TestZeroBreakdown(t *testing.T) {
 	var b Breakdown
 	if b.TotalPJ() != 0 || b.HBMPJ() != 0 || b.DRAMPJ() != 0 {

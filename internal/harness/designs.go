@@ -14,6 +14,22 @@ import (
 	"repro/internal/hmm"
 )
 
+// AllDesigns is every buildable design name, in a fixed order: Bumblebee
+// and its pinned-ratio variants first, then the six baselines. Sweeps
+// that must cover "every design" (the lockstep differential oracle,
+// invariant suites) iterate this instead of hand-maintaining lists.
+var AllDesigns = []config.Design{
+	config.DesignBumblebee,
+	config.DesignCacheOnly,
+	config.DesignPOMOnly,
+	config.DesignHybrid2,
+	config.DesignChameleon,
+	config.DesignBanshee,
+	config.DesignAlloy,
+	config.DesignUnison,
+	config.DesignNoHBM,
+}
+
 // Build constructs a memory system by design name. Bumblebee's fixed
 // ratio variants (C-Only, M-Only) are Bumblebee with pinned ratios, as in
 // the paper's Figure 7.

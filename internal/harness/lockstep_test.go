@@ -1,0 +1,55 @@
+// The lockstep integration test lives in harness_test (not harness)
+// because internal/check imports harness for Build; an external test
+// package keeps the dependency one-directional.
+package harness_test
+
+import (
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/config"
+	"repro/internal/harness"
+	"repro/internal/hmm"
+	"repro/internal/runner"
+)
+
+// TestLockstepAllDesigns runs every buildable design through the
+// differential oracle on a hot workload and then asserts the workload
+// actually exercised the machinery: an oracle that passes because
+// nothing happened proves nothing.
+func TestLockstepAllDesigns(t *testing.T) {
+	sys := config.Default().Scaled(1024)
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ops := check.GenOps(check.FamilyZipf, runner.Seed("harness-lockstep"), 4000, sys)
+	for _, d := range harness.AllDesigns {
+		d := d
+		t.Run(string(d), func(t *testing.T) {
+			mem, err := harness.Build(d, sys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := mem.(hmm.Inspector); !ok {
+				t.Fatalf("design %s does not implement hmm.Inspector", d)
+			}
+			if v := check.RunOps(mem, ops, check.Config{}); v != nil {
+				t.Fatalf("lockstep violation: %v", v)
+			}
+			c := mem.Counters()
+			if c.Requests == 0 {
+				t.Fatal("workload produced no requests")
+			}
+			if d != config.DesignNoHBM {
+				if c.ServedHBM == 0 {
+					t.Error("hot workload never served from HBM")
+				}
+				moved := c.BlockFills + c.PageMigrations + c.PageSwaps +
+					c.Evictions + c.ModeSwitches
+				if moved == 0 {
+					t.Error("hot workload never moved data into or out of HBM")
+				}
+			}
+		})
+	}
+}

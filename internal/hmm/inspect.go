@@ -1,0 +1,77 @@
+package hmm
+
+import "repro/internal/addr"
+
+// Tier names the memory device a page or line lives on.
+type Tier uint8
+
+const (
+	// TierNone means "unknown / not yet allocated": the design has no
+	// mapping for the address, so the next access's serve tier cannot be
+	// predicted (first-touch allocation decides it).
+	TierNone Tier = iota
+	TierDRAM
+	TierHBM
+)
+
+// String implements fmt.Stringer.
+func (t Tier) String() string {
+	switch t {
+	case TierDRAM:
+		return "dram"
+	case TierHBM:
+		return "hbm"
+	default:
+		return "none"
+	}
+}
+
+// PageInfo is a design's answer to "where does this page live right now".
+// Page is the design's canonical page identity (its clamped page number at
+// the design's own granularity): two addresses that the design folds onto
+// the same storage report the same Page, so the lockstep checker keys its
+// residency tracking on it. Frames are design-scoped indices — HomeFrame
+// and CacheFrame share one HBM namespace per design, and the checker only
+// requires them to be collision-free, not device-physical.
+type PageInfo struct {
+	Page       uint64
+	Allocated  bool
+	Home       Tier   // device holding the page's authoritative copy
+	HomeFrame  uint64 // frame index on the home device
+	HasCache   bool   // an additional HBM cache copy exists
+	CacheFrame uint64
+	// Aliased marks a page that shares another page's frame because the
+	// design ran out of space (allocation overflow). Aliased pages are
+	// exempt from the DRAM home-frame uniqueness rule — sharing is the
+	// documented degraded mode — but never from HBM-frame uniqueness.
+	Aliased bool
+}
+
+// Inspector is the read-only introspection surface the lockstep
+// differential checker (internal/check) drives. Every design implements
+// it alongside MemSystem. All methods MUST be free of side effects: no
+// allocation-on-lookup, no counter bumps, no LRU updates — the checker
+// interleaves them with real accesses and any mutation would perturb the
+// simulation it is checking.
+type Inspector interface {
+	// InspectGranularity returns the design's page size in bytes (the
+	// granularity at which InspectAddr reports residency). For line-grain
+	// designs this is the line size.
+	InspectGranularity() uint64
+
+	// InspectAddr reports where the page holding byte address a lives.
+	// The design applies its own address clamping/folding first.
+	InspectAddr(a addr.Addr) PageInfo
+
+	// LocateLine predicts which tier would serve a demand access to the
+	// 64 B line at a, given current state. TierNone means the prediction
+	// is undefined (typically first touch, where allocation decides).
+	LocateLine(a addr.Addr) Tier
+
+	// CheckInvariants walks the design's internal metadata and returns a
+	// non-nil error on the first inconsistency found: remap-table /
+	// occupancy disagreement, duplicate residency, stale bits on free
+	// frames, counter accounting that could only arise from underflow or
+	// double-counting, or a retired frame still holding data.
+	CheckInvariants() error
+}

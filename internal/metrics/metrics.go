@@ -19,7 +19,10 @@ func Geomean(vs []float64) (float64, error) {
 	}
 	sum := 0.0
 	for _, v := range vs {
-		if v <= 0 {
+		// NaN fails every comparison, so it needs its own guard: without
+		// it a NaN from an upstream zero-division would silently poison
+		// the whole mean instead of surfacing as an error.
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
 			return 0, fmt.Errorf("metrics: geomean of non-positive value %f", v)
 		}
 		sum += math.Log(v)

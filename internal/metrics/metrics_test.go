@@ -26,6 +26,112 @@ func TestGeomean(t *testing.T) {
 	}
 }
 
+func TestGeomeanTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      []float64
+		want    float64
+		wantErr bool
+	}{
+		{"single", []float64{3.5}, 3.5, false},
+		{"identical", []float64{2, 2, 2, 2}, 2, false},
+		{"wide magnitudes", []float64{1e-6, 1e6}, 1, false},
+		{"three values", []float64{1, 2, 4}, 2, false},
+		{"empty", nil, 0, true},
+		{"zero", []float64{1, 0}, 0, true},
+		{"negative", []float64{-2}, 0, true},
+		{"NaN", []float64{1, math.NaN()}, 0, true},
+		{"+Inf", []float64{1, math.Inf(1)}, 0, true},
+	}
+	for _, tc := range cases {
+		got, err := Geomean(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("%s: Geomean(%v) accepted, got %f", tc.name, tc.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+			continue
+		}
+		if math.Abs(got-tc.want) > 1e-9*tc.want {
+			t.Errorf("%s: Geomean(%v) = %f, want %f", tc.name, tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestNormalizeTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      []float64
+		base    float64
+		want    []float64
+		wantErr bool
+	}{
+		{"identity", []float64{1, 2}, 1, []float64{1, 2}, false},
+		{"halve", []float64{2, 4, 6}, 2, []float64{1, 2, 3}, false},
+		{"negative base", []float64{2, -4}, -2, []float64{-1, 2}, false},
+		{"empty input", nil, 5, []float64{}, false},
+		{"zero base", []float64{1}, 0, nil, true},
+	}
+	for _, tc := range cases {
+		got, err := Normalize(tc.in, tc.base)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("%s: Normalize accepted, got %v", tc.name, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+			continue
+		}
+		if len(got) != len(tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("%s: got %v, want %v", tc.name, got, tc.want)
+				break
+			}
+		}
+	}
+}
+
+func TestMeanAccumulation(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"cancel", []float64{-3, 3}, 0},
+		{"negative", []float64{-1, -2, -3}, -2},
+		{"running", []float64{0.5, 0.25, 0.25}, 1.0 / 3},
+	}
+	for _, tc := range cases {
+		if got := Mean(tc.in); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s: Mean(%v) = %f, want %f", tc.name, tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestTableDegenerate(t *testing.T) {
+	// No rows, no columns: the render must not panic and stays parseable.
+	empty := &Table{Title: "empty"}
+	if s := empty.String(); !strings.Contains(s, "empty") {
+		t.Errorf("empty table lost its title: %q", s)
+	}
+	// A column with no matching value renders the placeholder, never 0.000
+	// (which would be indistinguishable from a real measurement).
+	tb := &Table{Columns: []string{"only"}}
+	tb.Add("row", nil)
+	if s := tb.String(); !strings.Contains(s, "-") || strings.Contains(s, "0.000") {
+		t.Errorf("missing value rendered as data: %q", s)
+	}
+}
+
 func TestGeomeanBetweenMinMax(t *testing.T) {
 	f := func(raw []float64) bool {
 		var vs []float64

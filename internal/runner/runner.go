@@ -54,6 +54,24 @@ func Seed(parts ...string) uint64 {
 	return h
 }
 
+// SeedFold derives an independent sub-stream seed from a base Seed and a
+// small stream index, via one splitmix64 finalization step. Adjacent
+// indices decorrelate fully, so a cell can split one identity-derived
+// seed into workload, fault-injector, etc. streams without the streams
+// tracking each other. Like Seed, the result is never zero.
+func SeedFold(seed, stream uint64) uint64 {
+	z := seed + 0x9e3779b97f4a7c15*(stream+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = fnvOffset64
+	}
+	return z
+}
+
 // DefaultWorkers is the worker count used when a caller passes workers <= 0:
 // one worker per schedulable CPU.
 func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }

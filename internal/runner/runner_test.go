@@ -34,6 +34,29 @@ func TestSeedStable(t *testing.T) {
 	}
 }
 
+func TestSeedFold(t *testing.T) {
+	base := Seed("check", "bumblebee", "zipf")
+	if SeedFold(base, 0) != SeedFold(base, 0) {
+		t.Error("SeedFold not deterministic")
+	}
+	// Adjacent streams and adjacent bases must not collide or track each
+	// other — each (base, stream) pair is an independent seed.
+	seen := make(map[uint64]string)
+	for stream := uint64(0); stream < 64; stream++ {
+		for _, b := range []uint64{base, base + 1, 0} {
+			s := SeedFold(b, stream)
+			if s == 0 {
+				t.Fatalf("SeedFold(%d, %d) = 0 (reserved)", b, stream)
+			}
+			id := fmt.Sprintf("%d/%d", b, stream)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("SeedFold collision: %s and %s -> %d", prev, id, s)
+			}
+			seen[s] = id
+		}
+	}
+}
+
 func TestMapOrderedAndComplete(t *testing.T) {
 	items := make([]int, 100)
 	for i := range items {
