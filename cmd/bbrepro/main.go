@@ -20,6 +20,7 @@ import (
 	"repro/internal/check"
 	"repro/internal/harness"
 	"repro/internal/metrics"
+	"repro/internal/telemetry"
 )
 
 // metricsTable wraps a table pointer for the CSV panel map.
@@ -65,6 +66,10 @@ func main() {
 		plot        = flag.Bool("plot", false, "render figure panels as ASCII bar charts")
 		faults      = flag.String("faults", "0,2,10,50", "comma-separated frame-failure rates (per million HBM accesses) for the figfault sweep")
 		cellTimeout = flag.Duration("cell-timeout", 0, "per-cell deadline for sweeps (0 disables); a hung cell fails instead of blocking the sweep")
+		telEpoch    = flag.Uint64("telemetry-epoch", 0, "sample every run's counters every N accesses into runs_timeline.csv / runs_latency.csv (0 disables telemetry)")
+		traceOut    = flag.String("trace-out", "", "write fig8 runs as Chrome trace_event JSON to this file (needs -telemetry-epoch)")
+		traceDepth  = flag.Int("trace-depth", 0, "event ring capacity per run (0 picks the default)")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -73,6 +78,20 @@ func main() {
 	h.Accesses = *accesses
 	h.Parallel = *parallel
 	h.CellTimeout = *cellTimeout
+	h.TelemetryEpoch = *telEpoch
+	h.TraceDepth = *traceDepth
+	if *pprofAddr != "" {
+		if _, err := telemetry.StartPprof(*pprofAddr, func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "bbrepro: -pprof: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if *traceOut != "" && *telEpoch == 0 {
+		fmt.Fprintf(os.Stderr, "bbrepro: -trace-out needs -telemetry-epoch > 0\n")
+		os.Exit(2)
+	}
 	if *verbose {
 		h.Progress = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
@@ -188,11 +207,30 @@ func main() {
 			fmt.Println(res.HBM.TableBars("All", 40))
 			fmt.Println(res.Energy.TableBars("All", 40))
 		}
+		if *traceOut != "" {
+			if err := writeCSV(*traceOut, func(w *os.File) error {
+				return harness.WriteChromeTrace(w, res.PerRun)
+			}); err != nil {
+				return err
+			}
+		}
 		if *csvDir != "" {
 			if err := writeCSV(*csvDir+"/fig8_runs.csv", func(w *os.File) error {
 				return harness.WriteRunsCSV(w, res.PerRun)
 			}); err != nil {
 				return err
+			}
+			if *telEpoch > 0 {
+				if err := writeCSV(*csvDir+"/runs_timeline.csv", func(w *os.File) error {
+					return harness.WriteTimelineCSV(w, res.PerRun)
+				}); err != nil {
+					return err
+				}
+				if err := writeCSV(*csvDir+"/runs_latency.csv", func(w *os.File) error {
+					return harness.WriteLatencyCSV(w, res.PerRun)
+				}); err != nil {
+					return err
+				}
 			}
 			panels := map[string]*metricsTable{
 				"fig8a_ipc.csv":    {res.IPC},

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/runner"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -51,8 +52,19 @@ func gen(args []string) {
 	n := fs.Uint64("n", 1_000_000, "accesses to record")
 	scale := fs.Uint64("scale", 128, "footprint scale factor")
 	out := fs.String("o", "", "output file (default <bench>.bbtr)")
+	telEpoch := fs.Uint64("telemetry-epoch", 0, "sample the growing footprint every N accesses into the Chrome trace (0 disables)")
+	traceOut := fs.String("trace-out", "", "write footprint-growth samples as Chrome trace_event JSON to this file (needs -telemetry-epoch)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	fs.Parse(args)
 
+	if *pprofAddr != "" {
+		if _, err := telemetry.StartPprof(*pprofAddr, log.Printf); err != nil {
+			log.Fatalf("bbtrace: -pprof: %v", err)
+		}
+	}
+	if *traceOut != "" && *telEpoch == 0 {
+		log.Fatal("bbtrace gen: -trace-out needs -telemetry-epoch > 0")
+	}
 	b, err := trace.ByName(*bench)
 	if err != nil {
 		log.Fatalf("bbtrace: unknown benchmark %q (known: %s)", *bench, strings.Join(trace.Names(), ", "))
@@ -73,6 +85,18 @@ func gen(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// The generator has no cycle clock, so the Chrome trace uses the access
+	// index as its timebase (FreqMHz 1000 renders access i at i ns).
+	const pageShift = 12
+	var (
+		pages  map[uint64]struct{}
+		writes uint64
+		tr     = telemetry.TraceRun{Name: "gen/" + *bench, FreqMHz: 1000}
+	)
+	if *telEpoch > 0 {
+		pages = make(map[uint64]struct{})
+		tr.CounterNames = []string{"footprint_bytes", "writes"}
+	}
 	for i := uint64(0); i < *n; i++ {
 		a, ok := gen.Next()
 		if !ok {
@@ -81,9 +105,39 @@ func gen(args []string) {
 		if err := w.Write(a); err != nil {
 			log.Fatal(err)
 		}
+		if pages != nil {
+			pages[uint64(a.Addr)>>pageShift] = struct{}{}
+			if a.Write {
+				writes++
+			}
+			if (i+1)%*telEpoch == 0 {
+				tr.Events = append(tr.Events,
+					telemetry.Event{Cycle: i + 1, Kind: telemetry.EvEpoch, A: i + 1})
+				tr.Counters = append(tr.Counters, telemetry.CounterSample{
+					Cycle:  i + 1,
+					Values: []uint64{uint64(len(pages)) << pageShift, writes},
+				})
+			}
+		}
 	}
 	if err := w.Flush(); err != nil {
 		log.Fatal(err)
+	}
+	if *traceOut != "" {
+		tf, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := telemetry.WriteChromeTrace(tf, []telemetry.TraceRun{tr}); err != nil {
+			tf.Close()
+			log.Fatal(err)
+		}
+		// Close errors matter here too: a truncated trace JSON fails to
+		// parse in Perfetto with no hint of why.
+		if err := tf.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d footprint samples to %s\n", len(tr.Counters), *traceOut)
 	}
 	st, err := f.Stat()
 	if err != nil {

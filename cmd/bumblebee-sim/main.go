@@ -28,9 +28,26 @@ import (
 	"repro/internal/energy"
 	"repro/internal/faults"
 	"repro/internal/harness"
+	"repro/internal/hmm"
 	"repro/internal/runner"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
+
+// writeTrace creates path and streams the Chrome trace into it. The close
+// error is checked: a full disk surfaces at close time, and swallowing it
+// would report a truncated trace as success.
+func writeTrace(path string, runs []harness.RunResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := harness.WriteChromeTrace(f, runs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 func main() {
 	var (
@@ -45,6 +62,10 @@ func main() {
 		inspect     = flag.Int("inspect", -1, "dump this remapping set's state after the run (Bumblebee only)")
 		faultRate   = flag.Float64("faults", 0, "RAS frame-failure rate per million HBM accesses (0 disables fault injection)")
 		cellTimeout = flag.Duration("cell-timeout", 0, "per-cell deadline for matrix runs (0 disables)")
+		telEpoch    = flag.Uint64("telemetry-epoch", 0, "sample counters every N accesses and report per-tier service latency (0 disables telemetry)")
+		traceOut    = flag.String("trace-out", "", "write the run(s) as Chrome trace_event JSON to this file (needs -telemetry-epoch)")
+		traceDepth  = flag.Int("trace-depth", 0, "event ring capacity per run (0 picks the default)")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -53,6 +74,16 @@ func main() {
 	h.Accesses = *accesses
 	h.Parallel = *parallel
 	h.CellTimeout = *cellTimeout
+	h.TelemetryEpoch = *telEpoch
+	h.TraceDepth = *traceDepth
+	if *pprofAddr != "" {
+		if _, err := telemetry.StartPprof(*pprofAddr, log.Printf); err != nil {
+			log.Fatalf("bumblebee-sim: -pprof: %v", err)
+		}
+	}
+	if *traceOut != "" && *telEpoch == 0 {
+		log.Fatal("bumblebee-sim: -trace-out needs -telemetry-epoch > 0")
+	}
 	sys := h.System()
 	sys.BlockBytes = *blockKB * 1024
 	sys.PageBytes = *pageKB * 1024
@@ -67,7 +98,7 @@ func main() {
 		if *inspect >= 0 {
 			log.Fatal("bumblebee-sim: -inspect needs a single design and benchmark")
 		}
-		runMatrix(h, sys, designs, benches)
+		runMatrix(h, sys, designs, benches, *traceOut)
 		return
 	}
 
@@ -116,6 +147,25 @@ func main() {
 			runner.Seed("faults", mem.Name(), label)))
 	}
 
+	// Same per-cell probe wiring as harness.Run, so a single telemetry run
+	// matches the corresponding sweep cell's timeline and trace exactly.
+	var runTel *harness.RunTelemetry
+	var probe *telemetry.Probe
+	if *telEpoch > 0 {
+		probe = telemetry.NewProbe(*telEpoch, *traceDepth)
+		runTel = &harness.RunTelemetry{Epoch: *telEpoch, FreqMHz: sys.Core.FreqMHz}
+		reporter, _ := mem.(hmm.StateReporter)
+		probe.OnEpoch = func(access, cycle uint64) {
+			pt := harness.TimelinePoint{Access: access, Cycle: cycle, Counters: mem.Counters()}
+			if reporter != nil {
+				pt.State = reporter.TelemetryState()
+				pt.HasState = true
+			}
+			runTel.Timeline = append(runTel.Timeline, pt)
+		}
+		mem.Devices().AttachTelemetry(probe)
+	}
+
 	hier, err := cache.NewHierarchy(sys.Caches)
 	if err != nil {
 		log.Fatalf("bumblebee-sim: %v", err)
@@ -123,6 +173,12 @@ func main() {
 	res, err := cpu.Run(sys.Core, hier, mem, stream)
 	if err != nil {
 		log.Fatalf("bumblebee-sim: %v", err)
+	}
+	if runTel != nil {
+		runTel.Lat = probe.Lat
+		runTel.Events = probe.Tracer.Events()
+		runTel.EventsTotal = probe.Tracer.Total()
+		runTel.EventsDropped = probe.Tracer.Dropped()
 	}
 
 	cnt := mem.Counters()
@@ -154,6 +210,28 @@ func main() {
 		e.TotalMJ(), e.HBMPJ()/1e9, e.DRAMPJ()/1e9)
 	fmt.Printf("metadata        %12d lookups (%d to HBM)\n", cnt.MetaLookups, cnt.MetaHBM)
 
+	if runTel != nil {
+		fmt.Println()
+		fmt.Printf("service latency (cycles, per tier)\n")
+		fmt.Printf("  %-6s %12s %10s %8s %8s %8s %8s\n",
+			"tier", "count", "mean", "p50", "p95", "p99", "max")
+		for t := telemetry.Tier(0); t < telemetry.NumTiers; t++ {
+			lh := &runTel.Lat[t]
+			fmt.Printf("  %-6s %12d %10.3f %8d %8d %8d %8d\n",
+				t, lh.Count, lh.Mean(),
+				lh.Quantile(0.50), lh.Quantile(0.95), lh.Quantile(0.99), lh.Max)
+		}
+		fmt.Printf("  epochs %d   events %d recorded (%d beyond ring depth)\n",
+			len(runTel.Timeline), runTel.EventsTotal, runTel.EventsDropped)
+		if *traceOut != "" {
+			rr := harness.RunResult{Design: mem.Name(), Bench: label, Telemetry: runTel}
+			if err := writeTrace(*traceOut, []harness.RunResult{rr}); err != nil {
+				log.Fatalf("bumblebee-sim: %v", err)
+			}
+			fmt.Printf("  trace written to %s\n", *traceOut)
+		}
+	}
+
 	if sys.Faults.Enabled {
 		fmt.Println()
 		fmt.Printf("RAS: ecc corrected  %10d   ecc retried    %10d\n", cnt.ECCCorrected, cnt.ECCRetried)
@@ -178,8 +256,9 @@ func main() {
 }
 
 // runMatrix fans a (design × benchmark) matrix out across the harness
-// worker pool and prints one compact row per run, in matrix order.
-func runMatrix(h *harness.Harness, sys config.System, designs, benches []string) {
+// worker pool and prints one compact row per run, in matrix order. With
+// telemetry enabled and traceOut set, all runs land in one Chrome trace.
+func runMatrix(h *harness.Harness, sys config.System, designs, benches []string, traceOut string) {
 	rows, err := runner.MatrixTimeout(h.Parallel, h.CellTimeout, designs, benches,
 		func(d, bench string) (harness.RunResult, error) {
 			b, err := trace.ByName(bench)
@@ -198,13 +277,21 @@ func runMatrix(h *harness.Harness, sys config.System, designs, benches []string)
 	}
 	fmt.Printf("%-11s %-11s %8s %8s %10s %8s %10s %10s\n",
 		"design", "bench", "IPC", "MPKI", "misslat", "HBM%", "HBM MB", "DRAM MB")
+	flat := make([]harness.RunResult, 0, len(designs)*len(benches))
 	for di := range designs {
 		for bi := range benches {
 			r := rows[di][bi]
+			flat = append(flat, r)
 			fmt.Printf("%-11s %-11s %8.3f %8.1f %10.0f %7.1f%% %10.1f %10.1f\n",
 				r.Design, r.Bench, r.CPU.IPC(), r.CPU.MPKI(), r.CPU.AvgMissLatency(),
 				r.Counters.HBMServeRate()*100,
 				float64(r.HBMBytes)/1e6, float64(r.DRAMBytes)/1e6)
 		}
+	}
+	if traceOut != "" {
+		if err := writeTrace(traceOut, flat); err != nil {
+			log.Fatalf("bumblebee-sim: %v", err)
+		}
+		fmt.Printf("trace written to %s\n", traceOut)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/addr"
 	"repro/internal/config"
 	"repro/internal/hmm"
+	"repro/internal/telemetry"
 )
 
 // tadBytes is the size of one TAD unit: 64 B data + 8 B tag/state, padded
@@ -73,6 +74,14 @@ func (c *Cache) slot(lineNo uint64) (idx uint64, hbmAddr addr.Addr) {
 
 // Access implements hmm.MemSystem.
 func (c *Cache) Access(now uint64, a addr.Addr, write bool) uint64 {
+	done, tier := c.access(now, a, write)
+	c.dev.Tel.ObserveAccess(tier, now, done)
+	return done
+}
+
+// access is the uninstrumented access path; it also reports which tier
+// served the demand line.
+func (c *Cache) access(now uint64, a addr.Addr, write bool) (uint64, telemetry.Tier) {
 	c.cnt.Requests++
 	now = c.os.Admit(now, uint64(a)/c.dev.Geom.PageSize)
 	da := c.dramLocal(a)
@@ -86,9 +95,9 @@ func (c *Cache) Access(now uint64, a addr.Addr, write bool) uint64 {
 		c.cnt.ServedHBM++
 		if write {
 			l.dirty = true
-			return c.dev.HBMAccess(tagDone, hbmAddr, 64, true)
+			return c.dev.HBMAccess(tagDone, hbmAddr, 64, true), telemetry.TierCHBM
 		}
-		return tagDone
+		return tagDone, telemetry.TierCHBM
 	}
 
 	// Miss: fetch from DRAM (serialized after the tag probe, the
@@ -99,6 +108,7 @@ func (c *Cache) Access(now uint64, a addr.Addr, write bool) uint64 {
 		// Victim data arrived with the TAD read; write it back.
 		c.dev.DRAM.Access(done, addr.Addr(l.tag*64), 64, true)
 		c.cnt.Evictions++
+		c.dev.Tel.Event(now, telemetry.EvEviction, idx, l.tag, 0)
 	}
 	c.dev.HBMAccess(done, hbmAddr, tadBytes, true)
 	c.cnt.BlockFills++
@@ -106,7 +116,7 @@ func (c *Cache) Access(now uint64, a addr.Addr, write bool) uint64 {
 	c.cnt.FetchedBytes += 64
 	c.cnt.UsedBytes += 64
 	*l = line{tag: lineNo, valid: true, dirty: write}
-	return done
+	return done, telemetry.TierDRAM
 }
 
 // Writeback implements hmm.MemSystem.

@@ -10,6 +10,7 @@ import (
 	"repro/internal/addr"
 	"repro/internal/config"
 	"repro/internal/hmm"
+	"repro/internal/telemetry"
 )
 
 const (
@@ -155,6 +156,7 @@ func (c *Cache) maybePromote(now uint64, set, page uint64) {
 		}
 		c.freq[v.tag] = v.count
 		c.cnt.Evictions++
+		c.dev.Tel.Event(now, telemetry.EvEviction, set, v.tag, 0)
 	}
 	// Whole-page fill.
 	rd := c.dev.DRAM.Access(now, addr.Addr(page*pageBytes), pageBytes, false)
@@ -163,10 +165,12 @@ func (c *Cache) maybePromote(now uint64, set, page uint64) {
 	delete(c.freq, page)
 	c.cnt.PageMigrations++
 	c.cnt.FetchedBytes += pageBytes
+	c.dev.Tel.Event(now, telemetry.EvMigration, set, page, uint64(vi))
 }
 
 // Access implements hmm.MemSystem.
 func (c *Cache) Access(now uint64, a addr.Addr, write bool) uint64 {
+	t0 := now
 	c.cnt.Requests++
 	c.decay()
 	now = c.os.Admit(now, uint64(a)/c.dev.Geom.PageSize)
@@ -187,13 +191,16 @@ func (c *Cache) Access(now uint64, a addr.Addr, write bool) uint64 {
 			c.cnt.UsedBytes += 64
 		}
 		c.cnt.ServedHBM++
-		return c.dev.HBMAccess(start, c.hbmAddr(set, wi, off&^63), 64, write)
+		done := c.dev.HBMAccess(start, c.hbmAddr(set, wi, off&^63), 64, write)
+		c.dev.Tel.ObserveAccess(telemetry.TierCHBM, t0, done)
+		return done
 	}
 
 	done := c.dev.DRAM.Access(start, addr.Addr(page*pageBytes+off&^63), 64, write)
 	c.cnt.ServedDRAM++
 	c.freq[page]++
 	c.maybePromote(now, set, page)
+	c.dev.Tel.ObserveAccess(telemetry.TierDRAM, t0, done)
 	return done
 }
 

@@ -12,6 +12,7 @@ import (
 	"repro/internal/addr"
 	"repro/internal/config"
 	"repro/internal/hmm"
+	"repro/internal/telemetry"
 )
 
 // swapDelta is the hysteresis before a hot segment displaces the HBM
@@ -129,6 +130,7 @@ func (s *System) dramSeg(grp, m uint64) uint64 { return m*uint64(len(s.groups)) 
 
 // Access implements hmm.MemSystem.
 func (s *System) Access(now uint64, a addr.Addr, write bool) uint64 {
+	t0 := now
 	s.cnt.Requests++
 	s.decay()
 	now = s.os.Admit(now, uint64(a)/s.dev.Geom.PageSize)
@@ -142,9 +144,13 @@ func (s *System) Access(now uint64, a addr.Addr, write bool) uint64 {
 	off64 := off &^ 63
 
 	var done uint64
+	// Chameleon's HBM segments are OS-visible POM space, so an HBM serve
+	// is an mHBM serve in the telemetry taxonomy.
+	tier := telemetry.TierDRAM
 	if loc := g.loc[member]; loc == uint16(s.g) {
 		done = s.dev.AccessHBM(metaDone, grp, off64, 64, write)
 		s.cnt.ServedHBM++
+		tier = telemetry.TierMHBM
 	} else {
 		done = s.dev.AccessDRAM(metaDone, s.dramSeg(grp, uint64(loc)), off64, 64, write)
 		s.cnt.ServedDRAM++
@@ -152,6 +158,7 @@ func (s *System) Access(now uint64, a addr.Addr, write bool) uint64 {
 			s.maybeSwap(now, grp, member)
 		}
 	}
+	s.dev.Tel.ObserveAccess(tier, t0, done)
 	return done
 }
 
@@ -174,6 +181,7 @@ func (s *System) maybeSwap(now uint64, grp, member uint64) {
 	g.loc[member] = uint16(s.g)
 	g.hbmOwner = uint16(member)
 	s.cnt.PageSwaps++
+	s.dev.Tel.Event(now, telemetry.EvRemap, grp, member, occupant)
 	s.cnt.FetchedBytes += s.dev.Geom.PageSize
 	// Metadata update in HBM.
 	s.meta.Update(now, grp)

@@ -16,6 +16,7 @@ import (
 	"repro/internal/addr"
 	"repro/internal/config"
 	"repro/internal/hmm"
+	"repro/internal/telemetry"
 )
 
 const (
@@ -204,6 +205,14 @@ func (s *System) pomLookup(p uint64) (setIdx uint64, slot int32) {
 
 // Access implements hmm.MemSystem.
 func (s *System) Access(now uint64, a addr.Addr, write bool) uint64 {
+	done, tier := s.access(now, a, write)
+	s.dev.Tel.ObserveAccess(tier, now, done)
+	return done
+}
+
+// access is the uninstrumented access path; it also reports which tier
+// served the demand line.
+func (s *System) access(now uint64, a addr.Addr, write bool) (uint64, telemetry.Tier) {
 	s.cnt.Requests++
 	s.decay()
 	now = s.os.Admit(now, uint64(a)/pageBytes)
@@ -221,7 +230,7 @@ func (s *System) Access(now uint64, a addr.Addr, write bool) uint64 {
 		done := s.dev.HBMAccess(metaDone, s.pomFrameAddr(f, off64), 64, write)
 		s.ft.OnUse(s.ftKeyPOM(f), off64, 64)
 		s.cnt.ServedHBM++
-		return done
+		return done, telemetry.TierMHBM
 	}
 
 	// DRAM-homed page: probe the block cache.
@@ -238,7 +247,7 @@ func (s *System) Access(now uint64, a addr.Addr, write bool) uint64 {
 		}
 		s.ft.OnUse(s.ftKeyCache(cset, wi), off64, 64)
 		s.cnt.ServedHBM++
-		return done
+		return done, telemetry.TierCHBM
 	}
 
 	// Serve from DRAM, then fill the block (Hybrid2 caches every
@@ -250,7 +259,7 @@ func (s *System) Access(now uint64, a addr.Addr, write bool) uint64 {
 	if s.heat[p] >= migrateAt && s.mover.TryStart(now, 2*pageBytes) {
 		s.promote(now, p, setIdx, slot)
 	}
-	return done
+	return done, telemetry.TierDRAM
 }
 
 func (s *System) cacheLookup(cset uint64, p uint64) int {
@@ -311,6 +320,7 @@ func (s *System) evictCacheWay(now uint64, cset uint64, wi int) {
 	}
 	s.ft.OnEvict(s.ftKeyCache(cset, wi))
 	s.cnt.Evictions++
+	s.dev.Tel.Event(now, telemetry.EvEviction, cset, w.tag, 0)
 	w.valid = false
 	w.present, w.dirty = 0, 0
 }
@@ -357,6 +367,7 @@ func (s *System) promote(now uint64, p uint64, setIdx uint64, slot int32) {
 		ps.occupant[victimSlot] = -1
 		s.ft.OnEvict(s.ftKeyPOM(vf))
 		s.cnt.Evictions++
+		s.dev.Tel.Event(now, telemetry.EvEviction, setIdx, uint64(uint32(victimOrig)), 1)
 		target = victimSlot
 	}
 
@@ -393,6 +404,8 @@ func (s *System) promote(now uint64, p uint64, setIdx uint64, slot int32) {
 	s.ft.OnFetch(s.ftKeyPOM(f), 0, pageBytes)
 	s.cnt.PageMigrations++
 	s.cnt.ModeSwitches++
+	s.dev.Tel.Event(now, telemetry.EvMigration, setIdx, uint64(uint32(orig)), f)
+	s.dev.Tel.Event(now, telemetry.EvModeSwitch, setIdx, uint64(uint32(orig)), 1)
 	delete(s.heat, p)
 	s.meta.Update(now, p)
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/addr"
 	"repro/internal/config"
 	"repro/internal/hmm"
+	"repro/internal/telemetry"
 )
 
 // System routes every request to off-chip DRAM.
@@ -55,8 +56,11 @@ func (s *System) local(a addr.Addr) addr.Addr {
 func (s *System) Access(now uint64, a addr.Addr, write bool) uint64 {
 	s.cnt.Requests++
 	s.cnt.ServedDRAM++
+	t0 := now
 	now = s.os.Admit(now, uint64(a)/s.dev.Geom.PageSize)
-	return s.dev.DRAM.Access(now, s.local(a), 64, write)
+	done := s.dev.DRAM.Access(now, s.local(a), 64, write)
+	s.dev.Tel.ObserveAccess(telemetry.TierDRAM, t0, done)
+	return done
 }
 
 // Writeback implements hmm.MemSystem.

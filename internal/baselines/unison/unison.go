@@ -9,6 +9,7 @@ import (
 	"repro/internal/addr"
 	"repro/internal/config"
 	"repro/internal/hmm"
+	"repro/internal/telemetry"
 )
 
 const (
@@ -133,6 +134,7 @@ func (c *Cache) evict(now uint64, set uint64, wi int) {
 	}
 	c.history[w.tag] = w.touched
 	c.cnt.Evictions++
+	c.dev.Tel.Event(now, telemetry.EvEviction, set, w.tag, 0)
 	w.valid = false
 }
 
@@ -165,10 +167,19 @@ func (c *Cache) fill(now uint64, set uint64, wi int, page uint64, demand uint64)
 	// Tag write into the embedded tag row.
 	c.dev.HBMAccess(now, c.hbmAddr(set, wi, 0), 16, true)
 	c.cnt.BlockFills++
+	c.dev.Tel.Event(now, telemetry.EvMigration, set, page, uint64(wi))
 }
 
 // Access implements hmm.MemSystem.
 func (c *Cache) Access(now uint64, a addr.Addr, write bool) uint64 {
+	done, tier := c.access(now, a, write)
+	c.dev.Tel.ObserveAccess(tier, now, done)
+	return done
+}
+
+// access is the uninstrumented access path; it also reports which tier
+// served the demand block.
+func (c *Cache) access(now uint64, a addr.Addr, write bool) (uint64, telemetry.Tier) {
 	c.cnt.Requests++
 	c.tick++
 	now = c.os.Admit(now, uint64(a)/c.dev.Geom.PageSize)
@@ -192,9 +203,9 @@ func (c *Cache) Access(now uint64, a addr.Addr, write bool) uint64 {
 			c.cnt.ServedHBM++
 			if write {
 				w.set(&w.dirty, blk)
-				return c.dev.HBMAccess(tagDone, c.hbmAddr(set, wi, blk), blockBytes, true)
+				return c.dev.HBMAccess(tagDone, c.hbmAddr(set, wi, blk), blockBytes, true), telemetry.TierCHBM
 			}
-			return c.dev.HBMAccess(tagDone, c.hbmAddr(set, wi, blk), blockBytes, false)
+			return c.dev.HBMAccess(tagDone, c.hbmAddr(set, wi, blk), blockBytes, false), telemetry.TierCHBM
 		}
 		// Footprint under-prediction: fetch the missing block.
 		done := c.dev.DRAM.Access(tagDone, addr.Addr(page*pageBytes+blk*blockBytes), blockBytes, write)
@@ -204,7 +215,7 @@ func (c *Cache) Access(now uint64, a addr.Addr, write bool) uint64 {
 		c.cnt.FetchedBytes += blockBytes
 		c.cnt.UsedBytes += blockBytes
 		c.cnt.ServedDRAM++
-		return done
+		return done, telemetry.TierDRAM
 	}
 
 	// Page miss: serve from DRAM, then install the predicted footprint.
@@ -219,7 +230,7 @@ func (c *Cache) Access(now uint64, a addr.Addr, write bool) uint64 {
 	if write {
 		w.set(&w.dirty, blk)
 	}
-	return done
+	return done, telemetry.TierDRAM
 }
 
 // Writeback implements hmm.MemSystem.

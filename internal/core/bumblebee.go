@@ -7,6 +7,7 @@ import (
 	"repro/internal/addr"
 	"repro/internal/config"
 	"repro/internal/hmm"
+	"repro/internal/telemetry"
 )
 
 // Bumblebee is the hybrid memory management controller. It implements
@@ -178,6 +179,8 @@ func (b *Bumblebee) off64(a addr.Addr) uint64 {
 
 // Access implements hmm.MemSystem: the Figure 5 memory access path.
 func (b *Bumblebee) Access(now uint64, a addr.Addr, write bool) uint64 {
+	t0 := now
+	tier := telemetry.TierDRAM
 	b.cnt.Requests++
 	b.drainRetirements(now)
 	now = b.osmem.Admit(now, b.geom.PageOf(a))
@@ -245,6 +248,7 @@ func (b *Bumblebee) Access(now uint64, a addr.Addr, write bool) uint64 {
 		b.ft.OnUse(frame, off, 64)
 		b.touchHBMPage(now, setIdx, s, orig)
 		b.cnt.ServedHBM++
+		tier = telemetry.TierMHBM
 	} else {
 		// ④ page homed in off-chip DRAM.
 		w := s.findCachedWay(orig)
@@ -261,6 +265,7 @@ func (b *Bumblebee) Access(now uint64, a addr.Addr, write bool) uint64 {
 			b.ft.OnUse(frame, boff, 64)
 			b.touchHBMPage(now, setIdx, s, orig)
 			b.cnt.ServedHBM++
+			tier = telemetry.TierCHBM
 		} else {
 			// ⑤ page not cached, or ⑧ block not cached: off-chip DRAM.
 			dframe := b.geom.DRAMFrameOfSlot(setIdx, uint64(actual))
@@ -289,10 +294,12 @@ func (b *Bumblebee) Access(now uint64, a addr.Addr, write bool) uint64 {
 	}
 
 	b.zombieCheck(now, setIdx, s)
+	ret := done
 	if dataDone > done {
-		return dataDone
+		ret = dataDone
 	}
-	return done
+	b.dev.Tel.ObserveAccess(tier, t0, ret)
+	return ret
 }
 
 // Writeback implements hmm.MemSystem: an LLC dirty eviction lands on

@@ -1,5 +1,7 @@
 package core
 
+import "repro/internal/telemetry"
+
 // Data movement decisions (Section III-E): what to do on each memory
 // access based on spatial locality (SL = Na - Nn - Nc), temporal locality
 // (hot-table counters vs. threshold T) and memory footprint (Rh, OS
@@ -138,6 +140,7 @@ func (b *Bumblebee) switchToMHBM(now uint64, setIdx uint64, s *pset, w int, orig
 	s.newPLE[orig] = int16(b.m + w)
 	s.occupant[b.m+w] = orig
 	b.cnt.ModeSwitches++
+	b.dev.Tel.Event(now, telemetry.EvModeSwitch, setIdx, uint64(uint16(orig)), 1)
 	return done
 }
 
@@ -218,6 +221,7 @@ func (b *Bumblebee) migrateToMHBM(now uint64, setIdx uint64, s *pset, orig, actu
 	s.newPLE[orig] = int16(b.m + w)
 	s.occupant[b.m+w] = orig
 	b.cnt.PageMigrations++
+	b.dev.Tel.Event(now, telemetry.EvMigration, setIdx, uint64(uint16(orig)), frame)
 	he, ok := s.hot.dram.remove(orig)
 	if !ok {
 		he = hotEntry{orig: orig, count: hotness}
@@ -260,6 +264,7 @@ func (b *Bumblebee) swapWithColdest(now uint64, setIdx uint64, s *pset, orig, ac
 	e.valid.set(blk)
 	e.dirty.reset()
 	b.cnt.PageSwaps++
+	b.dev.Tel.Event(now, telemetry.EvRemap, setIdx, uint64(uint16(orig)), uint64(uint16(cold.orig)))
 	b.ft.OnEvict(hframe)
 	b.ft.OnFetch(hframe, 0, b.geom.PageSize)
 	// Hot-table bookkeeping: the cold page leaves HBM, the hot one enters.
@@ -380,6 +385,7 @@ func (b *Bumblebee) evictMHBMPage(now uint64, setIdx uint64, s *pset, e hotEntry
 	be.shadow = -1
 	b.ft.OnEvict(hframe)
 	b.cnt.Evictions++
+	b.dev.Tel.Event(now, telemetry.EvEviction, setIdx, uint64(uint16(e.orig)), 0)
 	popped, didPop := s.hot.dram.push(e)
 	if didPop {
 		if dd := b.handleDRAMPop(now, setIdx, s, popped); dd > done {
@@ -423,6 +429,7 @@ func (b *Bumblebee) demoteToCache(now uint64, setIdx uint64, s *pset, e hotEntry
 	s.newPLE[e.orig] = d
 	s.occupant[hbmSlot] = -1
 	b.cnt.ModeSwitches++
+	b.dev.Tel.Event(now, telemetry.EvModeSwitch, setIdx, uint64(uint16(e.orig)), 0)
 	done := now
 	if b.opt.NoMultiplex {
 		// Separate spaces force the eviction write now.
@@ -465,6 +472,7 @@ func (b *Bumblebee) evictCachedWay(now uint64, setIdx uint64, s *pset, w int) ui
 	e.dirty.reset()
 	b.ft.OnEvict(frame)
 	b.cnt.Evictions++
+	b.dev.Tel.Event(now, telemetry.EvEviction, setIdx, uint64(uint16(orig)), 1)
 	return done
 }
 
@@ -517,6 +525,7 @@ func (b *Bumblebee) flushCHBMBatch(now uint64, setIdx uint64) {
 	if batch < 1 {
 		batch = 1
 	}
+	b.dev.Tel.Event(now, telemetry.EvFlush, setIdx, uint64(batch), 0)
 	for k := 0; k < batch; k++ {
 		idx := (setIdx + uint64(k)) % uint64(len(b.sets))
 		s := b.sets[idx]

@@ -11,7 +11,11 @@ package core
 // Fault-oblivious baselines have none of this: they keep serving from
 // dead frames, and the RetiredServes counter measures that gap.
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/telemetry"
+)
 
 // retireMaxTries bounds how many accesses an mHBM evacuation may be
 // deferred when the movement engine is saturated before the migration is
@@ -72,6 +76,7 @@ func (b *Bumblebee) retireFrame(now uint64, frame uint64, tries int) bool {
 		e.mode = bleMHBM
 		e.orig = s.occupant[b.m+way]
 	}
+	modeHeld := e.mode
 	switch e.mode {
 	case bleCached:
 		// The DRAM home holds everything except dirtied blocks: write
@@ -109,6 +114,7 @@ func (b *Bumblebee) retireFrame(now uint64, frame uint64, tries int) bool {
 	}
 	s.retired[way] = true
 	s.retiredCount++
+	b.dev.Tel.Event(now, telemetry.EvQuarantine, frame, uint64(modeHeld), 0)
 	return true
 }
 
@@ -135,6 +141,7 @@ func (b *Bumblebee) aliasOutRetired(now uint64, setIdx uint64, s *pset, way int)
 	b.ft.OnEvict(hframe)
 	b.cnt.Evictions++
 	b.AllocOverflow++
+	b.dev.Tel.Event(now, telemetry.EvRemap, setIdx, uint64(uint16(orig)), uint64(uint16(alias)))
 }
 
 // RetiredFrameCount reports how many HBM frames the controller has

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"repro/internal/hmm"
+	"repro/internal/telemetry"
+)
+
+var _ hmm.StateReporter = (*Bumblebee)(nil)
+
+// TelemetryState implements hmm.StateReporter: a whole-controller snapshot
+// of the adaptive state the aggregate counters cannot show — the live
+// cHBM:mHBM frame split (summed over all remapping sets), quarantined
+// frames, hot-table occupancy, and movement-engine budget use. The walk is
+// read-only and touches no latency model, so sampling never perturbs a run.
+func (b *Bumblebee) TelemetryState() telemetry.DesignState {
+	var st telemetry.DesignState
+	for _, s := range b.sets {
+		for w := range s.bles {
+			switch s.bles[w].mode {
+			case bleCached:
+				st.CHBMFrames++
+			case bleMHBM:
+				st.MHBMFrames++
+			default:
+				if s.retired[w] {
+					st.RetiredFrames++
+				} else {
+					st.FreeFrames++
+				}
+			}
+		}
+		st.HotHBMEntries += uint64(s.hot.hbm.len())
+		st.HotDRAMEntries += uint64(s.hot.dram.len())
+	}
+	st.MoverStarted = b.mover.Started
+	st.MoverSkipped = b.mover.Skipped
+	return st
+}

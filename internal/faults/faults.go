@@ -24,6 +24,7 @@ import (
 	"sort"
 
 	"repro/internal/config"
+	"repro/internal/telemetry"
 )
 
 // RAS aggregates the injector's event counters.
@@ -51,6 +52,11 @@ type Injector struct {
 	pTransient float64
 	pFail      float64
 	throttleN  uint64 // throttled accesses per period
+
+	// Probe, when set, receives an EvFault trace event for every ECC
+	// detect-retry and permanent frame retirement. It never influences the
+	// fault schedule, so attaching telemetry cannot perturb a run.
+	Probe *telemetry.Probe
 
 	ras RAS
 }
@@ -120,13 +126,14 @@ func (i *Injector) Before(now uint64, frame uint64) (start uint64, retries int) 
 		if u01(i.next()) < i.cfg.DetectFrac {
 			i.ras.ECCRetried++
 			retries = 1
+			i.Probe.Event(now, telemetry.EvFault, frame, 1, 0)
 		} else {
 			i.ras.ECCCorrected++
 			now += i.cfg.CorrectCycles
 		}
 	}
 	if i.pFail > 0 && u01(i.next()) < i.pFail {
-		i.fail(frame)
+		i.fail(now, frame)
 	}
 	return now, retries
 }
@@ -135,13 +142,14 @@ func (i *Injector) Before(now uint64, frame uint64) (start uint64, retries int) 
 func (i *Injector) BackoffCycles() uint64 { return i.cfg.RetryBackoffCycles }
 
 // fail retires frame unless it already retired or the cap is reached.
-func (i *Injector) fail(frame uint64) {
+func (i *Injector) fail(now, frame uint64) {
 	if i.retired[frame] || uint64(len(i.retired)) >= i.capN {
 		return
 	}
 	i.retired[frame] = true
 	i.pending = append(i.pending, frame)
 	i.ras.FramesRetired++
+	i.Probe.Event(now, telemetry.EvFault, frame, 0, 1)
 }
 
 // IsRetired reports whether frame has permanently failed.

@@ -28,6 +28,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/hmm"
 	"repro/internal/runner"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -42,6 +43,15 @@ type Harness struct {
 	// overruns it fails with a runner.CellError instead of hanging the
 	// sweep. <= 0 (the default) disables the deadline.
 	CellTimeout time.Duration
+
+	// TelemetryEpoch enables per-run telemetry (latency histograms, event
+	// tracing, and the counter time-series): every run gets a probe that
+	// snapshots its counters every TelemetryEpoch demand accesses. 0 (the
+	// default) disables telemetry entirely — designs see a nil probe.
+	TelemetryEpoch uint64
+	// TraceDepth is the event ring capacity per run; <= 0 picks
+	// telemetry.DefaultTraceDepth. Only meaningful with TelemetryEpoch > 0.
+	TraceDepth int
 
 	mu sync.Mutex // serializes Progress calls from concurrent workers
 }
@@ -112,6 +122,10 @@ type RunResult struct {
 
 	HBMBytes  uint64 // total HBM bus traffic
 	DRAMBytes uint64 // total off-chip DRAM bus traffic
+
+	// Telemetry is the run's time-resolved record; nil unless the harness
+	// ran with TelemetryEpoch > 0.
+	Telemetry *RunTelemetry
 }
 
 // Run simulates one benchmark on one memory system built for sys.
@@ -142,9 +156,38 @@ func (h *Harness) Run(sys config.System, mem hmm.MemSystem, b trace.Benchmark) (
 		dev.AttachFaults(faults.New(sys.Faults, dev.Geom.HBMPages(),
 			runner.Seed("faults", mem.Name(), b.Profile.Name)))
 	}
+	// Telemetry is per-cell: each run owns one probe, and everything it
+	// records is a pure function of the cell's access stream, so the
+	// assembled sweep output stays byte-identical at any Parallel setting.
+	var runTel *RunTelemetry
+	var probe *telemetry.Probe
+	if h.TelemetryEpoch > 0 {
+		probe = telemetry.NewProbe(h.TelemetryEpoch, h.TraceDepth)
+		runTel = &RunTelemetry{Epoch: h.TelemetryEpoch, FreqMHz: sys.Core.FreqMHz}
+		reporter, _ := mem.(hmm.StateReporter)
+		probe.OnEpoch = func(access, cycle uint64) {
+			pt := TimelinePoint{Access: access, Cycle: cycle, Counters: mem.Counters()}
+			if reporter != nil {
+				pt.State = reporter.TelemetryState()
+				pt.HasState = true
+			}
+			runTel.Timeline = append(runTel.Timeline, pt)
+		}
+		mem.Devices().AttachTelemetry(probe)
+	}
 	res, err := cpu.Run(sys.Core, hier, mem, &trace.Limit{S: gen, N: h.Accesses})
 	if err != nil {
-		return RunResult{}, err
+		// Include the cell's replay identity: the seed pins the workload
+		// and fault streams, the epoch pins the sampling cadence, so the
+		// failure reproduces from the log alone.
+		return RunResult{}, fmt.Errorf("%s/%s (%s): %w",
+			mem.Name(), b.Profile.Name, runner.CellInfo(p.Seed, h.TelemetryEpoch), err)
+	}
+	if runTel != nil {
+		runTel.Lat = probe.Lat
+		runTel.Events = probe.Tracer.Events()
+		runTel.EventsTotal = probe.Tracer.Total()
+		runTel.EventsDropped = probe.Tracer.Dropped()
 	}
 	dev := mem.Devices()
 	hbm, ddr := dev.HBM.Stats(), dev.DRAM.Stats()
@@ -159,6 +202,7 @@ func (h *Harness) Run(sys config.System, mem hmm.MemSystem, b trace.Benchmark) (
 		Energy:    e,
 		HBMBytes:  hbm.TotalBytes(),
 		DRAMBytes: ddr.TotalBytes(),
+		Telemetry: runTel,
 	}, nil
 }
 

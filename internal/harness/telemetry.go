@@ -1,0 +1,170 @@
+package harness
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+
+	"repro/internal/hmm"
+	"repro/internal/telemetry"
+)
+
+// TimelinePoint is one epoch sample of a run: the design's cumulative
+// counters plus (for designs implementing hmm.StateReporter) the live
+// adaptive state, taken when the run crossed an access-count boundary.
+type TimelinePoint struct {
+	Access   uint64 // demand accesses completed at the sample
+	Cycle    uint64 // completion cycle of the access that crossed the epoch
+	Counters hmm.Counters
+	State    telemetry.DesignState
+	HasState bool
+}
+
+// RunTelemetry is the time-resolved record of one run: the epoch counter
+// time-series, the per-tier latency histograms, and the retained tail of
+// the structured event trace.
+type RunTelemetry struct {
+	Epoch   uint64 // sampling interval in demand accesses
+	FreqMHz uint64 // core frequency, for cycle->time conversion
+
+	Timeline []TimelinePoint
+	Lat      [telemetry.NumTiers]telemetry.Histogram
+
+	Events        []telemetry.Event
+	EventsTotal   uint64
+	EventsDropped uint64
+}
+
+// timelineHeader is the long-format runs_timeline.csv schema: one row per
+// (design, benchmark, epoch) with cumulative counters and — for designs
+// that report it — the live cHBM:mHBM frame split whose adaptation the
+// paper's Fig. 6-8 behaviour depends on.
+var timelineHeader = []string{
+	"design", "bench", "access", "cycle",
+	"served_hbm", "served_dram", "block_fills", "page_migrations",
+	"mode_switches", "page_swaps", "evictions", "page_faults",
+	"frames_retired",
+	"chbm_frames", "mhbm_frames", "free_frames", "retired_frames",
+	"chbm_ratio", "hot_hbm_entries", "hot_dram_entries",
+	"mover_started", "mover_skipped",
+}
+
+// WriteTimelineCSV dumps every run's epoch time-series in long format.
+// Runs without telemetry contribute no rows; runs without design state
+// leave the state columns empty rather than zero, so absent and idle are
+// distinguishable downstream.
+func WriteTimelineCSV(w io.Writer, runs []RunResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(timelineHeader); err != nil {
+		return err
+	}
+	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
+	for _, r := range runs {
+		if r.Telemetry == nil {
+			continue
+		}
+		for _, pt := range r.Telemetry.Timeline {
+			c := pt.Counters
+			row := []string{
+				r.Design, r.Bench, u(pt.Access), u(pt.Cycle),
+				u(c.ServedHBM), u(c.ServedDRAM), u(c.BlockFills), u(c.PageMigrations),
+				u(c.ModeSwitches), u(c.PageSwaps), u(c.Evictions), u(c.PageFaults),
+				u(c.FramesRetired),
+			}
+			if pt.HasState {
+				s := pt.State
+				row = append(row,
+					u(s.CHBMFrames), u(s.MHBMFrames), u(s.FreeFrames), u(s.RetiredFrames),
+					strconv.FormatFloat(s.CHBMRatio(), 'f', 6, 64),
+					u(s.HotHBMEntries), u(s.HotDRAMEntries),
+					u(s.MoverStarted), u(s.MoverSkipped),
+				)
+			} else {
+				row = append(row, "", "", "", "", "", "", "", "", "")
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// latencyHeader is the runs_latency.csv schema: one row per (design,
+// benchmark, tier) with count, mean, and log2-bucket quantile bounds.
+var latencyHeader = []string{
+	"design", "bench", "tier", "count", "mean_cycles",
+	"p50_cycles", "p95_cycles", "p99_cycles", "max_cycles",
+}
+
+// WriteLatencyCSV dumps the per-tier service-latency distribution of every
+// telemetry-enabled run: p50/p95/p99 are bucket upper bounds (clamped to
+// the observed maximum), so the columns are integral and diff bytewise.
+func WriteLatencyCSV(w io.Writer, runs []RunResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(latencyHeader); err != nil {
+		return err
+	}
+	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
+	for _, r := range runs {
+		if r.Telemetry == nil {
+			continue
+		}
+		for t := telemetry.Tier(0); t < telemetry.NumTiers; t++ {
+			h := &r.Telemetry.Lat[t]
+			row := []string{
+				r.Design, r.Bench, t.String(), u(h.Count),
+				strconv.FormatFloat(h.Mean(), 'f', 3, 64),
+				u(h.Quantile(0.50)), u(h.Quantile(0.95)), u(h.Quantile(0.99)),
+				u(h.Max),
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// stateCounterNames are the counter-track series exported to Chrome
+// traces for runs that report design state.
+var stateCounterNames = []string{"chbm_frames", "mhbm_frames", "free_frames"}
+
+// TraceRuns converts telemetry-enabled runs into Chrome-trace export
+// bundles: each run's retained events, plus (for state-reporting designs)
+// a counter track of the cHBM/mHBM/free frame split per epoch.
+func TraceRuns(runs []RunResult) []telemetry.TraceRun {
+	var out []telemetry.TraceRun
+	for _, r := range runs {
+		if r.Telemetry == nil {
+			continue
+		}
+		tr := telemetry.TraceRun{
+			Name:    r.Design + "/" + r.Bench,
+			FreqMHz: r.Telemetry.FreqMHz,
+			Events:  r.Telemetry.Events,
+		}
+		for _, pt := range r.Telemetry.Timeline {
+			if !pt.HasState {
+				continue
+			}
+			tr.Counters = append(tr.Counters, telemetry.CounterSample{
+				Cycle:  pt.Cycle,
+				Values: []uint64{pt.State.CHBMFrames, pt.State.MHBMFrames, pt.State.FreeFrames},
+			})
+		}
+		if len(tr.Counters) > 0 {
+			tr.CounterNames = stateCounterNames
+		}
+		out = append(out, tr)
+	}
+	return out
+}
+
+// WriteChromeTrace writes every telemetry-enabled run as one Chrome
+// trace_event JSON document (loadable in Perfetto / chrome://tracing).
+func WriteChromeTrace(w io.Writer, runs []RunResult) error {
+	return telemetry.WriteChromeTrace(w, TraceRuns(runs))
+}

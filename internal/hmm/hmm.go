@@ -13,6 +13,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/dram"
 	"repro/internal/faults"
+	"repro/internal/telemetry"
 )
 
 // MemSystem is a hybrid memory design as seen by the CPU model: it
@@ -32,6 +33,14 @@ type MemSystem interface {
 	// Devices exposes the underlying device models for traffic and
 	// energy accounting.
 	Devices() *Devices
+}
+
+// StateReporter is implemented by designs that can report the
+// design-specific half of an epoch sample (live cHBM:mHBM split, hot-table
+// occupancy, mover budget use). The harness type-asserts for it at every
+// epoch boundary; designs without dynamic state simply don't implement it.
+type StateReporter interface {
+	TelemetryState() telemetry.DesignState
 }
 
 // Counters are the design-independent event counts every MemSystem
@@ -109,11 +118,31 @@ type Devices struct {
 	// the pre-RAS behaviour; when set, every HBM access — demand, fill,
 	// migration, metadata — is routed through the injector's hook.
 	RAS *faults.Injector
+
+	// Tel is the optional telemetry probe. Nil (the default) is the
+	// disabled state: designs call it unconditionally on the access path
+	// and every probe method is nil-safe at pointer-compare cost.
+	Tel *telemetry.Probe
 }
 
 // AttachFaults installs a fault injector on the HBM access path. A nil
 // injector (disabled config) is a no-op.
-func (d *Devices) AttachFaults(inj *faults.Injector) { d.RAS = inj }
+func (d *Devices) AttachFaults(inj *faults.Injector) {
+	d.RAS = inj
+	if inj != nil {
+		inj.Probe = d.Tel
+	}
+}
+
+// AttachTelemetry installs a telemetry probe, propagating it to an already
+// attached fault injector so RAS events land in the same trace. A nil
+// probe detaches.
+func (d *Devices) AttachTelemetry(p *telemetry.Probe) {
+	d.Tel = p
+	if d.RAS != nil {
+		d.RAS.Probe = p
+	}
+}
 
 // AddRAS merges the injector's event counters into c; without an injector
 // the RAS fields stay zero. Every design's Counters() calls this so RAS

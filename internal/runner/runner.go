@@ -76,6 +76,14 @@ func SeedFold(seed, stream uint64) uint64 {
 // one worker per schedulable CPU.
 func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
+// CellInfo renders a cell's replay identity — its RNG seed and the
+// telemetry epoch it ran under — for inclusion in cell error strings, so a
+// failing cell can be re-run exactly from the log alone (the seed pins the
+// workload and fault streams; the epoch pins the sampling cadence).
+func CellInfo(seed, telemetryEpoch uint64) string {
+	return fmt.Sprintf("seed=0x%016x telemetry-epoch=%d", seed, telemetryEpoch)
+}
+
 // CellError records the failure of one cell of a sweep.
 type CellError struct {
 	Index int // position in the input slice

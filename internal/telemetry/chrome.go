@@ -1,0 +1,115 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// TraceRun bundles one simulation run's telemetry for Chrome trace_event
+// export: its display name, the core frequency (to convert cycles to
+// microseconds), the structured events, and an optional counter track
+// (one named series per CounterNames entry, sampled at epoch boundaries —
+// Perfetto renders these as stacked area charts, which is exactly the
+// "cHBM:mHBM ratio over time" view the paper's Figure 7 variants pin
+// statically).
+type TraceRun struct {
+	Name         string
+	FreqMHz      uint64
+	Events       []Event
+	CounterNames []string
+	Counters     []CounterSample
+}
+
+// CounterSample is one epoch's counter values, aligned with the owning
+// run's CounterNames.
+type CounterSample struct {
+	Cycle  uint64
+	Values []uint64
+}
+
+// WriteChromeTrace emits runs in the Chrome trace_event JSON format
+// (JSON-object flavour), loadable directly in Perfetto or
+// chrome://tracing. Each run becomes one process (pid = position + 1)
+// with its events on tid 1 and its counter track on tid 0. Output is a
+// pure function of the input — timestamps come from simulated cycles, so
+// exports diff bytewise across -parallel settings.
+func WriteChromeTrace(w io.Writer, runs []TraceRun) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")
+	first := true
+	comma := func() {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+	}
+	for i, r := range runs {
+		pid := i + 1
+		comma()
+		bw.WriteString(`{"name":"process_name","ph":"M","pid":`)
+		bw.WriteString(strconv.Itoa(pid))
+		bw.WriteString(`,"tid":0,"args":{"name":`)
+		bw.WriteString(strconv.Quote(r.Name))
+		bw.WriteString("}}")
+		for _, e := range r.Events {
+			comma()
+			bw.WriteString(`{"name":`)
+			bw.WriteString(strconv.Quote(e.Kind.String()))
+			bw.WriteString(`,"cat":"hmm","ph":"i","s":"t","ts":`)
+			bw.WriteString(tsMicros(e.Cycle, r.FreqMHz))
+			bw.WriteString(`,"pid":`)
+			bw.WriteString(strconv.Itoa(pid))
+			bw.WriteString(`,"tid":1,"args":{"a":`)
+			bw.WriteString(strconv.FormatUint(e.A, 10))
+			bw.WriteString(`,"b":`)
+			bw.WriteString(strconv.FormatUint(e.B, 10))
+			bw.WriteString(`,"c":`)
+			bw.WriteString(strconv.FormatUint(e.C, 10))
+			bw.WriteString("}}")
+		}
+		for _, s := range r.Counters {
+			comma()
+			bw.WriteString(`{"name":"state","ph":"C","ts":`)
+			bw.WriteString(tsMicros(s.Cycle, r.FreqMHz))
+			bw.WriteString(`,"pid":`)
+			bw.WriteString(strconv.Itoa(pid))
+			bw.WriteString(`,"tid":0,"args":{`)
+			for j, n := range r.CounterNames {
+				if j > 0 {
+					bw.WriteByte(',')
+				}
+				bw.WriteString(strconv.Quote(n))
+				bw.WriteByte(':')
+				v := uint64(0)
+				if j < len(s.Values) {
+					v = s.Values[j]
+				}
+				bw.WriteString(strconv.FormatUint(v, 10))
+			}
+			bw.WriteString("}}")
+		}
+	}
+	bw.WriteString("]}\n")
+	return bw.Flush()
+}
+
+// tsMicros converts a CPU cycle count to a trace timestamp in
+// microseconds with fixed millinanosecond precision, using only integer
+// arithmetic so the rendering is deterministic across platforms.
+func tsMicros(cycle, freqMHz uint64) string {
+	if freqMHz == 0 {
+		freqMHz = 1
+	}
+	ns := cycle * 1000 / freqMHz
+	return strconv.FormatUint(ns/1000, 10) + "." + pad3(ns%1000)
+}
+
+// pad3 renders v (< 1000) as exactly three digits.
+func pad3(v uint64) string {
+	s := strconv.FormatUint(v, 10)
+	for len(s) < 3 {
+		s = "0" + s
+	}
+	return s
+}

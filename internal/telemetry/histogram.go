@@ -1,0 +1,95 @@
+package telemetry
+
+import "math/bits"
+
+// HistBuckets is the number of log2 latency buckets. Bucket 0 holds the
+// value 0; bucket i (i >= 1) holds values v with bits.Len64(v) == i, i.e.
+// the range [2^(i-1), 2^i - 1]. 48 buckets cover every latency a
+// simulation can produce (2^47 cycles is thousands of simulated hours).
+const HistBuckets = 48
+
+// Histogram is a fixed-bucket log2 histogram of per-access service
+// latency in CPU cycles. The bucket array is fixed-size so observing is
+// allocation-free and two histograms merge and compare bytewise.
+type Histogram struct {
+	Buckets [HistBuckets]uint64
+	Count   uint64
+	Sum     uint64
+	Max     uint64
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(v uint64) {
+	i := bits.Len64(v)
+	if i >= HistBuckets {
+		i = HistBuckets - 1
+	}
+	h.Buckets[i]++
+	h.Count++
+	h.Sum += v
+	if v > h.Max {
+		h.Max = v
+	}
+}
+
+// Mean returns the exact mean latency (the Sum is kept alongside the
+// buckets), or 0 for an empty histogram.
+func (h *Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Quantile returns an upper bound for the q-th quantile (0 < q <= 1): the
+// upper edge of the bucket holding the sample of that rank, clamped to the
+// observed maximum. An empty histogram yields 0; q <= 0 is treated as the
+// first sample. The result is integral and deterministic, so quantile
+// columns diff cleanly across runs.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.Count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.Count))
+	if float64(rank) < q*float64(h.Count) {
+		rank++ // ceil
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.Count {
+		rank = h.Count
+	}
+	var cum uint64
+	for i := 0; i < HistBuckets; i++ {
+		cum += h.Buckets[i]
+		if cum >= rank {
+			upper := bucketUpper(i)
+			if upper > h.Max {
+				upper = h.Max
+			}
+			return upper
+		}
+	}
+	return h.Max
+}
+
+// bucketUpper returns the largest value bucket i can hold.
+func bucketUpper(i int) uint64 {
+	if i == 0 {
+		return 0
+	}
+	return 1<<uint(i) - 1
+}
+
+// Merge adds other's samples into h (Max is the pairwise maximum).
+func (h *Histogram) Merge(other *Histogram) {
+	for i := range h.Buckets {
+		h.Buckets[i] += other.Buckets[i]
+	}
+	h.Count += other.Count
+	h.Sum += other.Sum
+	if other.Max > h.Max {
+		h.Max = other.Max
+	}
+}

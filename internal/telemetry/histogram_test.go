@@ -1,0 +1,106 @@
+package telemetry
+
+import "testing"
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if got := h.Mean(); got != 0 {
+		t.Errorf("empty Mean = %v, want 0", got)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+	if h.Max != 0 || h.Count != 0 {
+		t.Errorf("empty histogram has Max=%d Count=%d", h.Max, h.Count)
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	var h Histogram
+	h.Observe(100)
+	if h.Count != 1 || h.Sum != 100 || h.Max != 100 {
+		t.Fatalf("after one sample: Count=%d Sum=%d Max=%d", h.Count, h.Sum, h.Max)
+	}
+	if got := h.Mean(); got != 100 {
+		t.Errorf("Mean = %v, want 100", got)
+	}
+	// Every quantile of a single sample is that sample's bucket bound,
+	// clamped to the observed max — exactly 100 here.
+	for _, q := range []float64{0, 0.01, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 100 {
+			t.Errorf("Quantile(%v) = %d, want 100", q, got)
+		}
+	}
+}
+
+func TestHistogramZeroSample(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	if h.Buckets[0] != 1 {
+		t.Errorf("zero sample not in bucket 0: %v", h.Buckets[:4])
+	}
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("Quantile(0.5) = %d, want 0", got)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	// bits.Len64 bucketing: value v lands in bucket Len64(v), so powers of
+	// two start a new bucket and (2^i)-1 ends the previous one.
+	cases := []struct {
+		v      uint64
+		bucket int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{255, 8}, {256, 9}, {1 << 47, HistBuckets - 1}, {^uint64(0), HistBuckets - 1},
+	}
+	for _, c := range cases {
+		var h Histogram
+		h.Observe(c.v)
+		if h.Buckets[c.bucket] != 1 {
+			t.Errorf("Observe(%d): bucket %d empty (buckets %v)", c.v, c.bucket, h.Buckets)
+		}
+	}
+}
+
+func TestHistogramQuantileWalk(t *testing.T) {
+	var h Histogram
+	// 90 samples of 10 (bucket 4, upper 15) and 10 samples of 1000
+	// (bucket 10, upper 1023).
+	for i := 0; i < 90; i++ {
+		h.Observe(10)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1000)
+	}
+	if got := h.Quantile(0.50); got != 15 {
+		t.Errorf("p50 = %d, want 15 (bucket upper of 10)", got)
+	}
+	if got := h.Quantile(0.90); got != 15 {
+		t.Errorf("p90 = %d, want 15", got)
+	}
+	// Rank 91 falls in the 1000s bucket; its upper bound 1023 clamps to
+	// the observed max 1000.
+	if got := h.Quantile(0.95); got != 1000 {
+		t.Errorf("p95 = %d, want 1000 (clamped to max)", got)
+	}
+	if got := h.Quantile(1); got != 1000 {
+		t.Errorf("p100 = %d, want 1000", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(4)
+	a.Observe(8)
+	b.Observe(1000)
+	a.Merge(&b)
+	if a.Count != 3 || a.Sum != 1012 || a.Max != 1000 {
+		t.Errorf("merged: Count=%d Sum=%d Max=%d", a.Count, a.Sum, a.Max)
+	}
+	if got := a.Quantile(1); got != 1000 {
+		t.Errorf("merged p100 = %d, want 1000", got)
+	}
+}

@@ -1,0 +1,33 @@
+package telemetry
+
+import (
+	_ "expvar" // register /debug/vars
+	"net"
+	"net/http"
+	_ "net/http/pprof" // register /debug/pprof handlers
+)
+
+// StartPprof serves the Go runtime's pprof and expvar endpoints on addr
+// in a background goroutine, returning the address actually bound (useful
+// when addr asks for port 0). This profiles the simulator itself — CPU,
+// heap, goroutine, and mutex profiles of a sweep in flight — and is
+// independent of the simulated-time telemetry in the rest of the package.
+func StartPprof(addr string, logf func(format string, args ...any)) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	bound := ln.Addr().String()
+	if logf != nil {
+		logf("pprof: serving http://%s/debug/pprof/ and /debug/vars", bound)
+	}
+	go func() {
+		// DefaultServeMux carries the pprof and expvar registrations from
+		// the blank imports above.
+		err := http.Serve(ln, nil)
+		if err != nil && logf != nil {
+			logf("pprof: server stopped: %v", err)
+		}
+	}()
+	return bound, nil
+}

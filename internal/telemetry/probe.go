@@ -1,0 +1,138 @@
+// Package telemetry is the observability layer shared by every hybrid
+// memory design in the repository: per-tier service-latency histograms, a
+// bounded structured event tracer exportable as Chrome trace_event JSON,
+// and an epoch sampler that turns a run's counters into a deterministic
+// time series.
+//
+// Cost contract. Telemetry must be free when disabled: every design calls
+// the probe unconditionally on its access path, so a nil *Probe (the
+// default) must cost no more than a pointer compare — the exported entry
+// points are tiny nil-checked wrappers that inline into the caller, and
+// the benchmark suite asserts the disabled path stays under 2 ns/access.
+//
+// Determinism contract (see internal/runner). One simulation cell owns one
+// probe; everything the probe records is a pure function of the cell's
+// access stream, so sweeps that fan cells across workers emit byte-
+// identical telemetry at any -parallel setting. Nothing in this package
+// reads the wall clock.
+package telemetry
+
+// Tier identifies which device path served a demand access. The split
+// follows the paper's taxonomy: HBM serving as a cache (cHBM), HBM serving
+// as OS-visible memory (mHBM/POM), and the off-chip DRAM miss path.
+type Tier uint8
+
+const (
+	TierCHBM Tier = iota // served from HBM acting as a cache
+	TierMHBM             // served from HBM acting as OS-visible memory
+	TierDRAM             // served from off-chip DRAM
+	NumTiers
+)
+
+// String returns the tier's CSV/trace label.
+func (t Tier) String() string {
+	switch t {
+	case TierCHBM:
+		return "chbm"
+	case TierMHBM:
+		return "mhbm"
+	case TierDRAM:
+		return "dram"
+	}
+	return "unknown"
+}
+
+// DesignState is the design-specific half of an epoch sample: the live
+// cHBM:mHBM split and the controller occupancy the aggregate counters
+// cannot show. Designs that can report it implement hmm.StateReporter;
+// for the rest the fields stay zero.
+type DesignState struct {
+	CHBMFrames    uint64 // HBM frames currently serving as cHBM
+	MHBMFrames    uint64 // HBM frames currently serving as mHBM
+	FreeFrames    uint64 // HBM frames holding nothing
+	RetiredFrames uint64 // HBM frames quarantined after RAS retirement
+
+	HotHBMEntries  uint64 // hot-table entries tracking HBM-resident pages
+	HotDRAMEntries uint64 // hot-table entries tracking DRAM-resident pages
+
+	MoverStarted uint64 // movements the bandwidth-budgeted engine started
+	MoverSkipped uint64 // movement opportunities skipped while busy
+}
+
+// CHBMRatio returns the cHBM share of occupied HBM frames — the adaptive
+// ratio the paper's Figure 7 variants pin statically.
+func (s DesignState) CHBMRatio() float64 {
+	occ := s.CHBMFrames + s.MHBMFrames
+	if occ == 0 {
+		return 0
+	}
+	return float64(s.CHBMFrames) / float64(occ)
+}
+
+// Probe is the per-run telemetry collector: the event tracer, the per-tier
+// latency histograms, and the epoch clock. A nil probe is the disabled
+// state; every method is safe (and nearly free) to call on nil.
+type Probe struct {
+	Tracer *Tracer
+	Lat    [NumTiers]Histogram
+
+	// Epoch is the sampling interval in demand accesses; 0 disables epoch
+	// sampling. OnEpoch fires at every boundary with the access count and
+	// the completion cycle of the access that crossed it.
+	Epoch   uint64
+	OnEpoch func(access, cycle uint64)
+
+	accesses uint64
+}
+
+// NewProbe builds a probe sampling every epoch accesses (0 disables
+// sampling) with an event ring of traceCap entries (<= 0 picks the
+// default capacity).
+func NewProbe(epoch uint64, traceCap int) *Probe {
+	return &Probe{Tracer: NewTracer(traceCap), Epoch: epoch}
+}
+
+// ObserveAccess records one demand access served by tier between cycles
+// start and done. This is the per-access hot-path entry point: it must
+// stay a nil check plus a call so the disabled path inlines away.
+func (p *Probe) ObserveAccess(tier Tier, start, done uint64) {
+	if p == nil {
+		return
+	}
+	p.observe(tier, start, done)
+}
+
+func (p *Probe) observe(tier Tier, start, done uint64) {
+	lat := uint64(0)
+	if done > start {
+		lat = done - start
+	}
+	if tier >= NumTiers {
+		tier = TierDRAM
+	}
+	p.Lat[tier].Observe(lat)
+	p.accesses++
+	if p.Epoch > 0 && p.accesses%p.Epoch == 0 {
+		p.Tracer.Emit(done, EvEpoch, p.accesses, 0, 0)
+		if p.OnEpoch != nil {
+			p.OnEpoch(p.accesses, done)
+		}
+	}
+}
+
+// Event records a structured event; like ObserveAccess it is a nil-checked
+// wrapper that is free when telemetry is disabled.
+func (p *Probe) Event(cycle uint64, kind EventKind, a, b, c uint64) {
+	if p == nil {
+		return
+	}
+	p.Tracer.Emit(cycle, kind, a, b, c)
+}
+
+// Accesses returns the number of demand accesses observed so far.
+func (p *Probe) Accesses() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.accesses
+}

@@ -1,0 +1,110 @@
+package telemetry
+
+import (
+	"testing"
+)
+
+func TestProbeNilSafe(t *testing.T) {
+	var p *Probe
+	p.ObserveAccess(TierCHBM, 0, 100) // must not panic
+	p.Event(1, EvMigration, 1, 2, 3)
+	if p.Accesses() != 0 {
+		t.Error("nil probe reports accesses")
+	}
+}
+
+func TestProbeObserveRoutesTiers(t *testing.T) {
+	p := NewProbe(0, 16)
+	p.ObserveAccess(TierCHBM, 0, 10)
+	p.ObserveAccess(TierMHBM, 0, 20)
+	p.ObserveAccess(TierDRAM, 0, 30)
+	for tier, want := range map[Tier]uint64{TierCHBM: 10, TierMHBM: 20, TierDRAM: 30} {
+		if got := p.Lat[tier].Sum; got != want {
+			t.Errorf("Lat[%s].Sum = %d, want %d", tier, got, want)
+		}
+	}
+	// An out-of-range tier must clamp, not index out of bounds.
+	p.ObserveAccess(Tier(250), 0, 5)
+	if p.Lat[TierDRAM].Count != 2 {
+		t.Errorf("out-of-range tier not clamped to DRAM: count %d", p.Lat[TierDRAM].Count)
+	}
+	if p.Accesses() != 4 {
+		t.Errorf("Accesses = %d, want 4", p.Accesses())
+	}
+}
+
+func TestProbeLatencyGuard(t *testing.T) {
+	p := NewProbe(0, 16)
+	// done <= start (a design that completed "instantly" or a clock quirk)
+	// records latency 0 rather than wrapping to ~2^64.
+	p.ObserveAccess(TierCHBM, 100, 100)
+	p.ObserveAccess(TierCHBM, 100, 50)
+	if p.Lat[TierCHBM].Sum != 0 || p.Lat[TierCHBM].Max != 0 {
+		t.Errorf("non-positive latency leaked: Sum=%d Max=%d",
+			p.Lat[TierCHBM].Sum, p.Lat[TierCHBM].Max)
+	}
+}
+
+func TestProbeEpochSampling(t *testing.T) {
+	p := NewProbe(3, 16)
+	var gotAccess, gotCycle []uint64
+	p.OnEpoch = func(access, cycle uint64) {
+		gotAccess = append(gotAccess, access)
+		gotCycle = append(gotCycle, cycle)
+	}
+	for i := uint64(1); i <= 7; i++ {
+		p.ObserveAccess(TierDRAM, 0, i*10)
+	}
+	if len(gotAccess) != 2 {
+		t.Fatalf("OnEpoch fired %d times, want 2 (epochs at access 3 and 6)", len(gotAccess))
+	}
+	if gotAccess[0] != 3 || gotAccess[1] != 6 {
+		t.Errorf("epoch accesses = %v, want [3 6]", gotAccess)
+	}
+	if gotCycle[0] != 30 || gotCycle[1] != 60 {
+		t.Errorf("epoch cycles = %v, want [30 60]", gotCycle)
+	}
+	// Each boundary also drops an EvEpoch marker in the trace.
+	ev := p.Tracer.Events()
+	if len(ev) != 2 || ev[0].Kind != EvEpoch || ev[0].A != 3 || ev[1].A != 6 {
+		t.Errorf("trace epochs = %+v", ev)
+	}
+}
+
+func TestProbeZeroEpochNeverFires(t *testing.T) {
+	p := NewProbe(0, 16)
+	p.OnEpoch = func(access, cycle uint64) {
+		t.Error("OnEpoch fired with Epoch = 0")
+	}
+	for i := uint64(0); i < 100; i++ {
+		p.ObserveAccess(TierCHBM, 0, i)
+	}
+}
+
+// BenchmarkProbeDisabled measures the per-access cost of telemetry when it
+// is off — the nil-pointer path every design pays unconditionally. The
+// package cost contract promises this inlines to a pointer compare; see
+// TestDisabledProbeOverhead for the enforced bound.
+func BenchmarkProbeDisabled(b *testing.B) {
+	var p *Probe
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.ObserveAccess(TierCHBM, 0, uint64(i))
+	}
+}
+
+func BenchmarkProbeEnabled(b *testing.B) {
+	p := NewProbe(0, DefaultTraceDepth)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.ObserveAccess(TierCHBM, 0, uint64(i))
+	}
+}
+
+func BenchmarkProbeEnabledWithEpochs(b *testing.B) {
+	p := NewProbe(1024, DefaultTraceDepth)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.ObserveAccess(TierCHBM, 0, uint64(i))
+	}
+}

@@ -1,0 +1,102 @@
+package telemetry
+
+// EventKind is the type tag of one structured trace event. Events carry
+// three small integer arguments whose meaning depends on the kind (set
+// index, original slot, frame number, ...); keeping them as raw integers
+// makes an Emit a fixed-size struct store — no allocation, no formatting
+// — so tracing is cheap enough to leave on during full-scale sweeps.
+type EventKind uint8
+
+const (
+	EvEpoch      EventKind = iota // epoch boundary (a = access count)
+	EvMigration                   // page migration into mHBM/POM (a = set, b = orig, c = frame)
+	EvModeSwitch                  // cHBM<->mHBM flip (a = set, b = orig, c = 1 for c->m, 0 for m->c)
+	EvRemap                       // BLE/PLE remap: swap, promote, alias-out (a = set, b = orig, c = peer)
+	EvEviction                    // page or block eviction from HBM (a = set, b = orig)
+	EvFlush                       // HMF(5) batched cHBM flush (a = first set, b = batch size)
+	EvFault                       // RAS fault injection (a = frame, b = 1 for ECC retry, c = 1 for permanent failure)
+	EvQuarantine                  // frame evacuated and quarantined (a = frame, b = mode it held)
+	numEventKinds
+)
+
+var eventNames = [numEventKinds]string{
+	"epoch", "migration", "mode_switch", "remap", "eviction", "flush",
+	"fault", "quarantine",
+}
+
+// String returns the kind's trace label.
+func (k EventKind) String() string {
+	if int(k) < len(eventNames) {
+		return eventNames[k]
+	}
+	return "unknown"
+}
+
+// Event is one structured trace record. The struct is fixed-size (32
+// bytes) so a ring of them is a single allocation for the run's lifetime.
+type Event struct {
+	Cycle   uint64
+	Kind    EventKind
+	A, B, C uint64
+}
+
+// DefaultTraceDepth is the ring capacity used when a caller passes <= 0.
+const DefaultTraceDepth = 4096
+
+// Tracer is a bounded ring buffer of events: when the ring is full the
+// oldest events are overwritten, so a runaway phase cannot grow memory —
+// the tail of the run is always retained, and Dropped reports how much
+// history was lost. A nil tracer discards everything.
+type Tracer struct {
+	buf []Event
+	n   uint64 // total events emitted
+}
+
+// NewTracer builds a tracer with the given ring capacity (<= 0 picks
+// DefaultTraceDepth). The ring is allocated once, up front.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceDepth
+	}
+	return &Tracer{buf: make([]Event, capacity)}
+}
+
+// Emit records one event. Nil-safe; allocation-free.
+func (t *Tracer) Emit(cycle uint64, kind EventKind, a, b, c uint64) {
+	if t == nil {
+		return
+	}
+	t.buf[t.n%uint64(len(t.buf))] = Event{Cycle: cycle, Kind: kind, A: a, B: b, C: c}
+	t.n++
+}
+
+// Events returns the retained events oldest-first. The slice is a copy;
+// the ring keeps recording.
+func (t *Tracer) Events() []Event {
+	if t == nil || t.n == 0 {
+		return nil
+	}
+	if t.n <= uint64(len(t.buf)) {
+		return append([]Event(nil), t.buf[:t.n]...)
+	}
+	start := t.n % uint64(len(t.buf))
+	out := make([]Event, 0, len(t.buf))
+	out = append(out, t.buf[start:]...)
+	return append(out, t.buf[:start]...)
+}
+
+// Total returns how many events were emitted over the run's lifetime.
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.n
+}
+
+// Dropped returns how many events the ring overwrote.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil || t.n <= uint64(len(t.buf)) {
+		return 0
+	}
+	return t.n - uint64(len(t.buf))
+}

@@ -1,0 +1,99 @@
+package telemetry
+
+import "testing"
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(1, EvMigration, 1, 2, 3) // must not panic
+	if tr.Events() != nil {
+		t.Error("nil tracer returned events")
+	}
+	if tr.Total() != 0 || tr.Dropped() != 0 {
+		t.Error("nil tracer reports nonzero totals")
+	}
+}
+
+func TestTracerOrderBeforeWrap(t *testing.T) {
+	tr := NewTracer(8)
+	for i := uint64(0); i < 5; i++ {
+		tr.Emit(i, EvEpoch, i, 0, 0)
+	}
+	ev := tr.Events()
+	if len(ev) != 5 {
+		t.Fatalf("len = %d, want 5", len(ev))
+	}
+	for i, e := range ev {
+		if e.Cycle != uint64(i) {
+			t.Errorf("ev[%d].Cycle = %d, want %d", i, e.Cycle, i)
+		}
+	}
+	if tr.Total() != 5 || tr.Dropped() != 0 {
+		t.Errorf("Total=%d Dropped=%d, want 5, 0", tr.Total(), tr.Dropped())
+	}
+}
+
+func TestTracerWraparound(t *testing.T) {
+	tr := NewTracer(4)
+	for i := uint64(0); i < 10; i++ {
+		tr.Emit(i, EvEviction, i, 0, 0)
+	}
+	ev := tr.Events()
+	if len(ev) != 4 {
+		t.Fatalf("len = %d, want ring capacity 4", len(ev))
+	}
+	// The tail of the run is retained, oldest-first: cycles 6, 7, 8, 9.
+	for i, e := range ev {
+		want := uint64(6 + i)
+		if e.Cycle != want {
+			t.Errorf("ev[%d].Cycle = %d, want %d", i, e.Cycle, want)
+		}
+	}
+	if tr.Total() != 10 {
+		t.Errorf("Total = %d, want 10", tr.Total())
+	}
+	if tr.Dropped() != 6 {
+		t.Errorf("Dropped = %d, want 6", tr.Dropped())
+	}
+}
+
+func TestTracerEventsIsACopy(t *testing.T) {
+	tr := NewTracer(4)
+	tr.Emit(1, EvFlush, 0, 0, 0)
+	ev := tr.Events()
+	tr.Emit(2, EvFault, 9, 9, 9)
+	if len(ev) != 1 || ev[0].Cycle != 1 {
+		t.Error("Events() snapshot was mutated by a later Emit")
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	want := map[EventKind]string{
+		EvEpoch: "epoch", EvMigration: "migration", EvModeSwitch: "mode_switch",
+		EvRemap: "remap", EvEviction: "eviction", EvFlush: "flush",
+		EvFault: "fault", EvQuarantine: "quarantine",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if EventKind(200).String() != "unknown" {
+		t.Errorf("out-of-range kind = %q", EventKind(200).String())
+	}
+}
+
+func BenchmarkTracerEmit(b *testing.B) {
+	tr := NewTracer(DefaultTraceDepth)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(uint64(i), EvMigration, 1, 2, 3)
+	}
+}
+
+func BenchmarkTracerEmitDisabled(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(uint64(i), EvMigration, 1, 2, 3)
+	}
+}
