@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const benchText = `goos: linux
+BenchmarkTable2Workloads/mcf-8 	       1	 123456789 ns/op	         0.0870 ipc:bumblebee
+PASS
+`
+
+// parseTo runs `bbreport bench -parse` and returns the ledger path.
+func parseTo(t *testing.T, dir, name, text string) string {
+	t.Helper()
+	src := filepath.Join(dir, name+".txt")
+	dst := filepath.Join(dir, name+".json")
+	if err := os.WriteFile(src, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"bench", "-parse", src, "-o", dst}, &stdout, &stderr); code != 0 {
+		t.Fatalf("parse exit %d: %s", code, stderr.String())
+	}
+	return dst
+}
+
+// TestBenchCompareExitCodes is the CI gate's contract: exit 0 when the
+// ledgers agree, nonzero when a model metric drifted beyond tolerance.
+func TestBenchCompareExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	base := parseTo(t, dir, "base", benchText)
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"bench", "-compare", base, "-against", base}, &stdout, &stderr); code != 0 {
+		t.Fatalf("self-compare exit %d: %s", code, stderr.String())
+	}
+
+	// Inject a >tolerance model regression (ipc 0.0870 -> 0.0600).
+	bad := parseTo(t, dir, "bad", strings.Replace(benchText, "0.0870", "0.0600", 1))
+	stdout.Reset()
+	stderr.Reset()
+	code := run([]string{"bench", "-compare", bad, "-against", base}, &stdout, &stderr)
+	if code == 0 {
+		t.Fatal("injected model regression exited 0")
+	}
+	if !strings.Contains(stderr.String(), "REGRESSION") || !strings.Contains(stderr.String(), "ipc:bumblebee") {
+		t.Fatalf("regression not reported: %s", stderr.String())
+	}
+
+	// A 10x slowdown alone passes by default and gates with -time.
+	slow := parseTo(t, dir, "slow", strings.Replace(benchText, "123456789", "1234567890", 1))
+	stderr.Reset()
+	if code := run([]string{"bench", "-compare", slow, "-against", base}, &stdout, &stderr); code != 0 {
+		t.Fatalf("time-only drift gated by default: %s", stderr.String())
+	}
+	if code := run([]string{"bench", "-compare", slow, "-against", base, "-time"}, &stdout, &stderr); code == 0 {
+		t.Fatal("10x slowdown passed with -time")
+	}
+}
+
+// TestReportAndVerifySubcommands drives report and verify over the
+// committed fixture run dir.
+func TestReportAndVerifySubcommands(t *testing.T) {
+	fixture := filepath.Join("..", "..", "internal", "report", "testdata", "runA")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"verify", fixture}, &stdout, &stderr); code != 0 {
+		t.Fatalf("verify exit %d: %s", code, stderr.String())
+	}
+	stdout.Reset()
+	if code := run([]string{"report", fixture}, &stdout, &stderr); code != 0 {
+		t.Fatalf("report exit %d: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"# Bumblebee run report", "### Design summary", "| bumblebee |", "### Anomalies"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestUsageExitCodes: bad invocations exit 2 without touching anything.
+func TestUsageExitCodes(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	for _, args := range [][]string{
+		{},
+		{"nonsense"},
+		{"report"},
+		{"verify"},
+		{"bench"},
+		{"bench", "-compare", "x.json"}, // missing -against
+	} {
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Fatalf("args %v: want exit 2, got %d", args, code)
+		}
+	}
+}

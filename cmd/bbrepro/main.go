@@ -7,20 +7,29 @@
 // Experiments: table1, table2, fig1, fig6, fig7, fig8, metadata,
 // overfetch, all; figfault (the RAS fault sweep) and check (the deep
 // lockstep differential-oracle sweep) run only when requested by name.
+//
+// With -csv, the run directory also gets a manifest.json (deterministic
+// run identity: flags, toolchain, output SHA-256s) and a session.json
+// (volatile facts: parallelism, wall time) — the inputs to bbreport.
+// With -pprof or -metrics-addr, live sweep progress is served as
+// Prometheus text at /metrics.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/check"
 	"repro/internal/harness"
 	"repro/internal/metrics"
-	"repro/internal/telemetry"
+	"repro/internal/obs"
+	"repro/internal/report"
 )
 
 // metricsTable wraps a table pointer for the CSV panel map.
@@ -56,47 +65,45 @@ func parseRates(s string) ([]float64, error) {
 }
 
 func main() {
+	start := time.Now()
 	var (
-		experiment  = flag.String("experiment", "all", "which experiment to run (table1,table2,fig1,fig6,fig7,fig8,mal,mix,metadata,overfetch,figfault,check,all)")
-		scale       = flag.Uint64("scale", 128, "capacity scale factor versus Table I")
-		accesses    = flag.Uint64("accesses", 1_500_000, "memory references per benchmark run")
-		parallel    = flag.Int("parallel", runtime.NumCPU(), "worker goroutines per sweep (results are identical at any value)")
-		verbose     = flag.Bool("v", false, "log per-run progress")
-		csvDir      = flag.String("csv", "", "also write raw results as CSV into this directory")
-		plot        = flag.Bool("plot", false, "render figure panels as ASCII bar charts")
-		faults      = flag.String("faults", "0,2,10,50", "comma-separated frame-failure rates (per million HBM accesses) for the figfault sweep")
-		cellTimeout = flag.Duration("cell-timeout", 0, "per-cell deadline for sweeps (0 disables); a hung cell fails instead of blocking the sweep")
-		telEpoch    = flag.Uint64("telemetry-epoch", 0, "sample every run's counters every N accesses into runs_timeline.csv / runs_latency.csv (0 disables telemetry)")
-		traceOut    = flag.String("trace-out", "", "write fig8 runs as Chrome trace_event JSON to this file (needs -telemetry-epoch)")
-		traceDepth  = flag.Int("trace-depth", 0, "event ring capacity per run (0 picks the default)")
-		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+		experiment = flag.String("experiment", "all", "which experiment to run (table1,table2,fig1,fig6,fig7,fig8,mal,mix,metadata,overfetch,figfault,check,all)")
+		scale      = flag.Uint64("scale", 128, "capacity scale factor versus Table I")
+		accesses   = flag.Uint64("accesses", 1_500_000, "memory references per benchmark run")
+		verbose    = flag.Bool("v", false, "log per-run progress (structured, to stderr)")
+		csvDir     = flag.String("csv", "", "also write raw results as CSV (plus manifest.json/session.json) into this directory")
+		plot       = flag.Bool("plot", false, "render figure panels as ASCII bar charts")
+		faults     = flag.String("faults", "0,2,10,50", "comma-separated frame-failure rates (per million HBM accesses) for the figfault sweep")
 	)
+	var of obs.Flags
+	of.RegisterAll(flag.CommandLine)
 	flag.Parse()
 
 	h := harness.New()
 	h.Scale = *scale
 	h.Accesses = *accesses
-	h.Parallel = *parallel
-	h.CellTimeout = *cellTimeout
-	h.TelemetryEpoch = *telEpoch
-	h.TraceDepth = *traceDepth
-	if *pprofAddr != "" {
-		if _, err := telemetry.StartPprof(*pprofAddr, func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
-		}); err != nil {
-			fmt.Fprintf(os.Stderr, "bbrepro: -pprof: %v\n", err)
-			os.Exit(2)
-		}
-	}
-	if *traceOut != "" && *telEpoch == 0 {
-		fmt.Fprintf(os.Stderr, "bbrepro: -trace-out needs -telemetry-epoch > 0\n")
+	h.Parallel = of.Parallel
+	h.CellTimeout = of.CellTimeout
+	h.TelemetryEpoch = of.TelemetryEpoch
+	h.TraceDepth = of.TraceDepth
+	if err := of.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "bbrepro: %v\n", err)
 		os.Exit(2)
 	}
 	if *verbose {
-		h.Progress = func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
-		}
+		h.Log = obs.NewRunLogger(os.Stderr)
 	}
+
+	// The sweep tracker feeds /metrics; it is live even without an HTTP
+	// endpoint so that attaching one costs nothing but the flag.
+	sweep := obs.NewSweep(*experiment)
+	h.Obs = sweep
+	srv, err := of.StartServer(context.Background(), sweep, obs.NewRunLogger(os.Stderr))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bbrepro: %v\n", err)
+		os.Exit(2)
+	}
+
 	if err := h.System().Validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "bbrepro: invalid system configuration: %v\n", err)
 		os.Exit(1)
@@ -131,11 +138,24 @@ func main() {
 			*experiment, strings.Join([]string{"table1", "table2", "fig1", "fig6", "fig7", "fig8", "mal", "mix", "metadata", "overfetch", "figfault", "check", "all"}, ", "))
 		os.Exit(2)
 	}
+
+	// With -csv, every file the run writes is hashed into manifest.json.
+	// The manifest records only deterministic facts, so it diffs clean
+	// across -parallel settings; session.json takes the volatile rest.
+	var man *report.Manifest
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "bbrepro: %v\n", err)
 			os.Exit(1)
 		}
+		man = report.New("bbrepro", *experiment, *scale, *accesses, of.TelemetryEpoch)
+		man.Flags = map[string]string{"faults": *faults}
+	}
+	record := func(name, kind string) error {
+		if man == nil {
+			return nil
+		}
+		return man.AddOutput(*csvDir, name, kind)
 	}
 
 	run("table1", func() error {
@@ -165,9 +185,12 @@ func main() {
 		}
 		fmt.Println(harness.Fig6Table(res))
 		if *csvDir != "" {
-			return writeCSV(*csvDir+"/fig6_sweep.csv", func(w *os.File) error {
+			if err := writeCSV(*csvDir+"/fig6_sweep.csv", func(w *os.File) error {
 				return harness.WriteFig6CSV(w, res)
-			})
+			}); err != nil {
+				return err
+			}
+			return record("fig6_sweep.csv", "sweep")
 		}
 		return nil
 	})
@@ -186,9 +209,12 @@ func main() {
 			fmt.Println(metrics.BarChart("Figure 7 (geomean speedup)", labels, values, 40))
 		}
 		if *csvDir != "" {
-			return writeCSV(*csvDir+"/fig7_factors.csv", func(w *os.File) error {
+			if err := writeCSV(*csvDir+"/fig7_factors.csv", func(w *os.File) error {
 				return harness.WriteFig7CSV(w, res)
-			})
+			}); err != nil {
+				return err
+			}
+			return record("fig7_factors.csv", "sweep")
 		}
 		return nil
 	})
@@ -207,8 +233,8 @@ func main() {
 			fmt.Println(res.HBM.TableBars("All", 40))
 			fmt.Println(res.Energy.TableBars("All", 40))
 		}
-		if *traceOut != "" {
-			if err := writeCSV(*traceOut, func(w *os.File) error {
+		if of.TraceOut != "" {
+			if err := writeCSV(of.TraceOut, func(w *os.File) error {
 				return harness.WriteChromeTrace(w, res.PerRun)
 			}); err != nil {
 				return err
@@ -220,15 +246,24 @@ func main() {
 			}); err != nil {
 				return err
 			}
-			if *telEpoch > 0 {
+			if err := record("fig8_runs.csv", "runs"); err != nil {
+				return err
+			}
+			if of.TelemetryEpoch > 0 {
 				if err := writeCSV(*csvDir+"/runs_timeline.csv", func(w *os.File) error {
 					return harness.WriteTimelineCSV(w, res.PerRun)
 				}); err != nil {
 					return err
 				}
+				if err := record("runs_timeline.csv", "timeline"); err != nil {
+					return err
+				}
 				if err := writeCSV(*csvDir+"/runs_latency.csv", func(w *os.File) error {
 					return harness.WriteLatencyCSV(w, res.PerRun)
 				}); err != nil {
+					return err
+				}
+				if err := record("runs_latency.csv", "latency"); err != nil {
 					return err
 				}
 			}
@@ -242,6 +277,9 @@ func main() {
 				if err := writeCSV(*csvDir+"/"+name, func(w *os.File) error {
 					return harness.WriteTableCSV(w, p.t)
 				}); err != nil {
+					return err
+				}
+				if err := record(name, "table"); err != nil {
 					return err
 				}
 			}
@@ -274,9 +312,12 @@ func main() {
 			}
 			fmt.Println(res.Table().String())
 			if *csvDir != "" {
-				return writeCSV(*csvDir+"/figfault_sweep.csv", func(w *os.File) error {
+				if err := writeCSV(*csvDir+"/figfault_sweep.csv", func(w *os.File) error {
 					return harness.WriteFigFaultCSV(w, res)
-				})
+				}); err != nil {
+					return err
+				}
+				return record("figfault_sweep.csv", "sweep")
 			}
 			return nil
 		})
@@ -288,8 +329,8 @@ func main() {
 	if *experiment == "check" {
 		run("check", func() error {
 			s := check.DefaultSuite(h.System(), int(*accesses))
-			s.Parallel = *parallel
-			s.Timeout = *cellTimeout
+			s.Parallel = of.Parallel
+			s.Timeout = of.CellTimeout
 			res, err := s.Run()
 			if err != nil {
 				return err
@@ -315,4 +356,27 @@ func main() {
 		fmt.Printf("hybrid2   %5.1f%%   (paper: 13.7%%)\n", res.Hybrid2*100)
 		return nil
 	})
+
+	if man != nil {
+		if err := man.Write(*csvDir); err != nil {
+			fmt.Fprintf(os.Stderr, "bbrepro: %v\n", err)
+			os.Exit(1)
+		}
+		sess := &report.Session{
+			Parallel: h.Parallel,
+			CPUs:     runtime.NumCPU(),
+			Started:  start.UTC().Format(time.RFC3339),
+			WallMS:   time.Since(start).Milliseconds(),
+		}
+		if err := sess.Write(*csvDir); err != nil {
+			fmt.Fprintf(os.Stderr, "bbrepro: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if srv != nil {
+		// Drain any in-flight scrape before the process exits.
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		_ = srv.Shutdown(ctx)
+		cancel()
+	}
 }

@@ -7,14 +7,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
-	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/config"
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -52,18 +54,26 @@ func gen(args []string) {
 	n := fs.Uint64("n", 1_000_000, "accesses to record")
 	scale := fs.Uint64("scale", 128, "footprint scale factor")
 	out := fs.String("o", "", "output file (default <bench>.bbtr)")
-	telEpoch := fs.Uint64("telemetry-epoch", 0, "sample the growing footprint every N accesses into the Chrome trace (0 disables)")
-	traceOut := fs.String("trace-out", "", "write footprint-growth samples as Chrome trace_event JSON to this file (needs -telemetry-epoch)")
-	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+	var of obs.Flags
+	of.RegisterTelemetry(fs)
+	of.RegisterServe(fs)
 	fs.Parse(args)
 
-	if *pprofAddr != "" {
-		if _, err := telemetry.StartPprof(*pprofAddr, log.Printf); err != nil {
-			log.Fatalf("bbtrace: -pprof: %v", err)
-		}
+	if err := of.Validate(); err != nil {
+		log.Fatalf("bbtrace gen: %v", err)
 	}
-	if *traceOut != "" && *telEpoch == 0 {
-		log.Fatal("bbtrace gen: -trace-out needs -telemetry-epoch > 0")
+	// Trace generation has no sweep to export, but the pprof endpoint is
+	// still useful for profiling the generator itself.
+	srv, err := of.StartServer(context.Background(), nil, obs.NewRunLogger(os.Stderr))
+	if err != nil {
+		log.Fatalf("bbtrace gen: %v", err)
+	}
+	if srv != nil {
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			_ = srv.Shutdown(ctx)
+			cancel()
+		}()
 	}
 	b, err := trace.ByName(*bench)
 	if err != nil {
@@ -93,7 +103,7 @@ func gen(args []string) {
 		writes uint64
 		tr     = telemetry.TraceRun{Name: "gen/" + *bench, FreqMHz: 1000}
 	)
-	if *telEpoch > 0 {
+	if of.TelemetryEpoch > 0 {
 		pages = make(map[uint64]struct{})
 		tr.CounterNames = []string{"footprint_bytes", "writes"}
 	}
@@ -110,7 +120,7 @@ func gen(args []string) {
 			if a.Write {
 				writes++
 			}
-			if (i+1)%*telEpoch == 0 {
+			if (i+1)%of.TelemetryEpoch == 0 {
 				tr.Events = append(tr.Events,
 					telemetry.Event{Cycle: i + 1, Kind: telemetry.EvEpoch, A: i + 1})
 				tr.Counters = append(tr.Counters, telemetry.CounterSample{
@@ -123,8 +133,8 @@ func gen(args []string) {
 	if err := w.Flush(); err != nil {
 		log.Fatal(err)
 	}
-	if *traceOut != "" {
-		tf, err := os.Create(*traceOut)
+	if of.TraceOut != "" {
+		tf, err := os.Create(of.TraceOut)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -137,7 +147,7 @@ func gen(args []string) {
 		if err := tf.Close(); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("wrote %d footprint samples to %s\n", len(tr.Counters), *traceOut)
+		fmt.Printf("wrote %d footprint samples to %s\n", len(tr.Counters), of.TraceOut)
 	}
 	st, err := f.Stat()
 	if err != nil {
@@ -179,12 +189,12 @@ func benchTable(args []string) {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	n := fs.Uint64("n", 300_000, "accesses to characterize per profile")
 	scale := fs.Uint64("scale", 128, "footprint scale factor")
-	parallel := fs.Int("parallel", runtime.NumCPU(), "worker goroutines (output is identical at any value)")
-	cellTimeout := fs.Duration("cell-timeout", 0, "per-cell deadline (0 disables)")
+	var of obs.Flags
+	of.RegisterSweep(fs)
 	fs.Parse(args)
 	// One profile per cell; each cell owns its generator, so the table is
 	// identical at any -parallel setting.
-	chars, err := runner.MapTimeout(*parallel, *cellTimeout, trace.TableII(),
+	chars, err := runner.MapTimeout(of.Parallel, of.CellTimeout, trace.TableII(),
 		func(_ int, b trace.Benchmark) (trace.Characteristics, error) {
 			gen, err := trace.NewSynthetic(b.Scale(*scale).Profile)
 			if err != nil {

@@ -14,12 +14,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
-	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/config"
@@ -29,6 +30,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/harness"
 	"repro/internal/hmm"
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -51,38 +53,42 @@ func writeTrace(path string, runs []harness.RunResult) error {
 
 func main() {
 	var (
-		design      = flag.String("design", "bumblebee", "memory design to simulate (comma-separated list runs a matrix)")
-		bench       = flag.String("bench", "mcf", "Table II benchmark name (comma-separated list runs a matrix)")
-		traceFile   = flag.String("trace", "", "replay a recorded .bbtr trace instead of a benchmark")
-		scale       = flag.Uint64("scale", 128, "capacity scale factor versus Table I")
-		accesses    = flag.Uint64("accesses", 1_000_000, "memory references to simulate")
-		blockKB     = flag.Uint64("block", 2, "Bumblebee block size in KB")
-		pageKB      = flag.Uint64("page", 64, "Bumblebee page size in KB")
-		parallel    = flag.Int("parallel", runtime.NumCPU(), "worker goroutines for matrix runs")
-		inspect     = flag.Int("inspect", -1, "dump this remapping set's state after the run (Bumblebee only)")
-		faultRate   = flag.Float64("faults", 0, "RAS frame-failure rate per million HBM accesses (0 disables fault injection)")
-		cellTimeout = flag.Duration("cell-timeout", 0, "per-cell deadline for matrix runs (0 disables)")
-		telEpoch    = flag.Uint64("telemetry-epoch", 0, "sample counters every N accesses and report per-tier service latency (0 disables telemetry)")
-		traceOut    = flag.String("trace-out", "", "write the run(s) as Chrome trace_event JSON to this file (needs -telemetry-epoch)")
-		traceDepth  = flag.Int("trace-depth", 0, "event ring capacity per run (0 picks the default)")
-		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+		design    = flag.String("design", "bumblebee", "memory design to simulate (comma-separated list runs a matrix)")
+		bench     = flag.String("bench", "mcf", "Table II benchmark name (comma-separated list runs a matrix)")
+		traceFile = flag.String("trace", "", "replay a recorded .bbtr trace instead of a benchmark")
+		scale     = flag.Uint64("scale", 128, "capacity scale factor versus Table I")
+		accesses  = flag.Uint64("accesses", 1_000_000, "memory references to simulate")
+		blockKB   = flag.Uint64("block", 2, "Bumblebee block size in KB")
+		pageKB    = flag.Uint64("page", 64, "Bumblebee page size in KB")
+		inspect   = flag.Int("inspect", -1, "dump this remapping set's state after the run (Bumblebee only)")
+		faultRate = flag.Float64("faults", 0, "RAS frame-failure rate per million HBM accesses (0 disables fault injection)")
 	)
+	var of obs.Flags
+	of.RegisterAll(flag.CommandLine)
 	flag.Parse()
 
 	h := harness.New()
 	h.Scale = *scale
 	h.Accesses = *accesses
-	h.Parallel = *parallel
-	h.CellTimeout = *cellTimeout
-	h.TelemetryEpoch = *telEpoch
-	h.TraceDepth = *traceDepth
-	if *pprofAddr != "" {
-		if _, err := telemetry.StartPprof(*pprofAddr, log.Printf); err != nil {
-			log.Fatalf("bumblebee-sim: -pprof: %v", err)
-		}
+	h.Parallel = of.Parallel
+	h.CellTimeout = of.CellTimeout
+	h.TelemetryEpoch = of.TelemetryEpoch
+	h.TraceDepth = of.TraceDepth
+	if err := of.Validate(); err != nil {
+		log.Fatalf("bumblebee-sim: %v", err)
 	}
-	if *traceOut != "" && *telEpoch == 0 {
-		log.Fatal("bumblebee-sim: -trace-out needs -telemetry-epoch > 0")
+	sweep := obs.NewSweep("sim")
+	h.Obs = sweep
+	srv, err := of.StartServer(context.Background(), sweep, obs.NewRunLogger(os.Stderr))
+	if err != nil {
+		log.Fatalf("bumblebee-sim: %v", err)
+	}
+	if srv != nil {
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			_ = srv.Shutdown(ctx)
+			cancel()
+		}()
 	}
 	sys := h.System()
 	sys.BlockBytes = *blockKB * 1024
@@ -98,7 +104,7 @@ func main() {
 		if *inspect >= 0 {
 			log.Fatal("bumblebee-sim: -inspect needs a single design and benchmark")
 		}
-		runMatrix(h, sys, designs, benches, *traceOut)
+		runMatrix(h, sys, designs, benches, of.TraceOut)
 		return
 	}
 
@@ -151,9 +157,9 @@ func main() {
 	// matches the corresponding sweep cell's timeline and trace exactly.
 	var runTel *harness.RunTelemetry
 	var probe *telemetry.Probe
-	if *telEpoch > 0 {
-		probe = telemetry.NewProbe(*telEpoch, *traceDepth)
-		runTel = &harness.RunTelemetry{Epoch: *telEpoch, FreqMHz: sys.Core.FreqMHz}
+	if of.TelemetryEpoch > 0 {
+		probe = telemetry.NewProbe(of.TelemetryEpoch, of.TraceDepth)
+		runTel = &harness.RunTelemetry{Epoch: of.TelemetryEpoch, FreqMHz: sys.Core.FreqMHz}
 		reporter, _ := mem.(hmm.StateReporter)
 		probe.OnEpoch = func(access, cycle uint64) {
 			pt := harness.TimelinePoint{Access: access, Cycle: cycle, Counters: mem.Counters()}
@@ -223,12 +229,12 @@ func main() {
 		}
 		fmt.Printf("  epochs %d   events %d recorded (%d beyond ring depth)\n",
 			len(runTel.Timeline), runTel.EventsTotal, runTel.EventsDropped)
-		if *traceOut != "" {
+		if of.TraceOut != "" {
 			rr := harness.RunResult{Design: mem.Name(), Bench: label, Telemetry: runTel}
-			if err := writeTrace(*traceOut, []harness.RunResult{rr}); err != nil {
+			if err := writeTrace(of.TraceOut, []harness.RunResult{rr}); err != nil {
 				log.Fatalf("bumblebee-sim: %v", err)
 			}
-			fmt.Printf("  trace written to %s\n", *traceOut)
+			fmt.Printf("  trace written to %s\n", of.TraceOut)
 		}
 	}
 

@@ -119,6 +119,9 @@ type Fig1Result struct {
 // the harness worker pool with no shared state.
 func (h *Harness) Fig1() ([]Fig1Result, error) {
 	sys := h.System()
+	// Fig1 cells run a bespoke cache model, not Harness.Run, so they
+	// report their own completions to the sweep tracker.
+	h.Obs.AddPlanned(len(Fig1Benchmarks) * len(Fig1LineSizes))
 	rows, err := runner.MatrixTimeout(h.workers(), h.CellTimeout, Fig1Benchmarks, Fig1LineSizes,
 		func(name string, ls uint64) (Fig1Result, error) {
 			b, err := trace.ByName(name)
@@ -136,17 +139,20 @@ func (h *Harness) Fig1() ([]Fig1Result, error) {
 			if err != nil {
 				return Fig1Result{}, err
 			}
+			var accesses uint64
 			for i := uint64(0); i < h.Accesses; i++ {
 				acc, ok := gen.Next()
 				if !ok {
 					break
 				}
+				accesses++
 				if r := hier.Access(acc.Addr, acc.Write); r.HitLevel == -1 {
 					chbm.access(acc.Addr)
 				}
 			}
 			chbm.drain()
-			h.logf("fig1 %-4s %6dB done", name, ls)
+			h.Obs.CellDone("fig1-chbm", name, accesses, nil, nil)
+			h.log("fig1", "bench", name, "line_bytes", ls)
 			return Fig1Result{Bench: name, LineBytes: ls, Shares: hist.Shares()}, nil
 		})
 	if err != nil {

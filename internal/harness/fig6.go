@@ -54,6 +54,7 @@ func (h *Harness) Fig6() ([]Fig6Result, error) {
 		return nil, err
 	}
 	cfgs := Fig6Configs()
+	h.Obs.AddPlanned(len(cfgs) * len(bs))
 	speedups, err := runner.MatrixTimeout(h.workers(), h.CellTimeout, cfgs, bs,
 		func(cfg Fig6Config, b trace.Benchmark) (float64, error) {
 			sys := h.System()
@@ -89,7 +90,7 @@ func (h *Harness) Fig6() ([]Fig6Result, error) {
 		}
 		md := core.Metadata(geom, full.Bumblebee.HotQueueDepth)
 		out = append(out, Fig6Result{Config: cfg, Speedup: gm, MetadataBytes: md.TotalBytes()})
-		h.logf("fig6 %-6s speedup %.3f metadata %dKB", cfg.Label(), gm, md.TotalBytes()/addr.KiB)
+		h.log("fig6", "config", cfg.Label(), "speedup", gm, "metadata_kb", md.TotalBytes()/addr.KiB)
 	}
 	return out, nil
 }

@@ -28,6 +28,7 @@ func (h *Harness) Fig7() ([]Fig7Result, error) {
 		return nil, err
 	}
 	vs := Fig7Variants()
+	h.Obs.AddPlanned(len(vs) * len(bs))
 	speedups, err := runner.MatrixTimeout(h.workers(), h.CellTimeout, vs, bs,
 		func(v Variant, b trace.Benchmark) (float64, error) {
 			sys := h.System()
@@ -52,7 +53,7 @@ func (h *Harness) Fig7() ([]Fig7Result, error) {
 			return nil, err
 		}
 		out = append(out, Fig7Result{Label: v.Label, Speedup: gm})
-		h.logf("fig7 %-10s speedup %.3f", v.Label, gm)
+		h.log("fig7", "variant", v.Label, "speedup", gm)
 	}
 	return out, nil
 }

@@ -57,17 +57,18 @@ func (h *Harness) Fig8() (*Fig8Result, error) {
 		DRAM:   &metrics.Table{Title: "Figure 8(c): normalized off-chip DRAM traffic", Columns: Fig8Groups},
 		Energy: &metrics.Table{Title: "Figure 8(d): normalized memory dynamic energy", Columns: Fig8Groups},
 	}
+	h.Obs.AddPlanned(len(Fig8Designs) * len(bs))
 	runs, err := runner.MatrixTimeout(h.workers(), h.CellTimeout, Fig8Designs, bs,
 		func(d config.Design, b trace.Benchmark) (RunResult, error) {
 			r, err := h.RunDesign(d, b)
 			if err != nil {
 				return RunResult{}, fmt.Errorf("fig8 %s/%s: %w", d, b.Profile.Name, err)
 			}
-			h.logf("fig8 %-10s %-10s IPC x%.2f HBM %.2f DRAM %.2f E %.2f",
-				d, b.Profile.Name, r.CPU.IPC()/base.ipc[b.Profile.Name],
-				float64(r.HBMBytes)/float64(base.bytes[b.Profile.Name]),
-				float64(r.DRAMBytes)/float64(base.bytes[b.Profile.Name]),
-				r.Energy.TotalPJ()/base.pj[b.Profile.Name])
+			h.log("fig8", "design", string(d), "bench", b.Profile.Name,
+				"ipc_norm", r.CPU.IPC()/base.ipc[b.Profile.Name],
+				"hbm_norm", float64(r.HBMBytes)/float64(base.bytes[b.Profile.Name]),
+				"dram_norm", float64(r.DRAMBytes)/float64(base.bytes[b.Profile.Name]),
+				"energy_norm", r.Energy.TotalPJ()/base.pj[b.Profile.Name])
 			return r, nil
 		})
 	if err != nil {

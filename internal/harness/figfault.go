@@ -91,6 +91,7 @@ func (h *Harness) FigFaultWith(designs []config.Design, rates []float64) (*FigFa
 			cells = append(cells, figFaultCell{design: d, rate: r})
 		}
 	}
+	h.Obs.AddPlanned(len(cells) * len(bs))
 	runs, err := runner.MatrixTimeout(h.workers(), h.CellTimeout, cells, bs,
 		func(c figFaultCell, b trace.Benchmark) (RunResult, error) {
 			sys := h.System()
@@ -103,8 +104,8 @@ func (h *Harness) FigFaultWith(designs []config.Design, rates []float64) (*FigFa
 			if err != nil {
 				return RunResult{}, fmt.Errorf("figfault %s@%g/%s: %w", c.design, c.rate, b.Profile.Name, err)
 			}
-			h.logf("figfault %-10s rate %5.1f %-10s IPC %.3f retired %d",
-				c.design, c.rate, b.Profile.Name, r.CPU.IPC(), r.Counters.FramesRetired)
+			h.log("figfault", "design", string(c.design), "rate", c.rate,
+				"bench", b.Profile.Name, "ipc", r.CPU.IPC(), "frames_retired", r.Counters.FramesRetired)
 			return r, nil
 		})
 	if err != nil {

@@ -18,7 +18,7 @@ package harness
 
 import (
 	"fmt"
-	"sync"
+	"log/slog"
 	"time"
 
 	"repro/internal/cache"
@@ -27,6 +27,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/faults"
 	"repro/internal/hmm"
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -37,7 +38,18 @@ type Harness struct {
 	Scale    uint64 // capacity scale factor vs Table I
 	Accesses uint64 // memory references simulated per benchmark run
 	Parallel int    // worker goroutines per sweep; <= 0 means one per CPU
-	Progress func(format string, args ...any)
+
+	// Log is the structured run logger (per-cell progress records); nil
+	// (the default) is silent. Handlers serialize concurrent records, so
+	// workers log as cells finish — record order varies across runs, only
+	// the assembled results are deterministic.
+	Log *slog.Logger
+
+	// Obs is the live sweep tracker served over /metrics; nil (the
+	// default) disables observation. Sweeps declare their cells up front
+	// and Run reports each completion — strictly after the cell's result
+	// is final, so observation cannot perturb determinism.
+	Obs *obs.Sweep
 
 	// CellTimeout is the per-cell deadline for every sweep; a cell that
 	// overruns it fails with a runner.CellError instead of hanging the
@@ -52,24 +64,11 @@ type Harness struct {
 	// TraceDepth is the event ring capacity per run; <= 0 picks
 	// telemetry.DefaultTraceDepth. Only meaningful with TelemetryEpoch > 0.
 	TraceDepth int
-
-	mu sync.Mutex // serializes Progress calls from concurrent workers
 }
 
 // New returns a harness at the default reproduction scale.
 func New() *Harness {
 	return &Harness{Scale: 128, Accesses: 1_500_000}
-}
-
-// logf reports per-run progress. Workers log as cells finish, so line
-// order varies across runs — only the assembled results are deterministic.
-func (h *Harness) logf(format string, args ...any) {
-	if h.Progress == nil {
-		return
-	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.Progress(format, args...)
 }
 
 // workers returns the sweep's worker-pool size.
@@ -180,6 +179,7 @@ func (h *Harness) Run(sys config.System, mem hmm.MemSystem, b trace.Benchmark) (
 		// Include the cell's replay identity: the seed pins the workload
 		// and fault streams, the epoch pins the sampling cadence, so the
 		// failure reproduces from the log alone.
+		h.Obs.CellFailed(mem.Name(), b.Profile.Name, err)
 		return RunResult{}, fmt.Errorf("%s/%s (%s): %w",
 			mem.Name(), b.Profile.Name, runner.CellInfo(p.Seed, h.TelemetryEpoch), err)
 	}
@@ -194,11 +194,17 @@ func (h *Harness) Run(sys config.System, mem hmm.MemSystem, b trace.Benchmark) (
 	e := energy.FromStats(hbm, ddr).WithStatic(
 		dev.HBM.BackgroundEnergyPJ(res.Cycles),
 		dev.DRAM.BackgroundEnergyPJ(res.Cycles))
+	var lat *[telemetry.NumTiers]telemetry.Histogram
+	if probe != nil {
+		lat = &probe.Lat
+	}
+	cnt := mem.Counters()
+	h.obsDone(mem.Name(), b.Profile.Name, res.Accesses, cnt, lat)
 	return RunResult{
 		Design:    mem.Name(),
 		Bench:     b.Profile.Name,
 		CPU:       res,
-		Counters:  mem.Counters(),
+		Counters:  cnt,
 		Energy:    e,
 		HBMBytes:  hbm.TotalBytes(),
 		DRAMBytes: ddr.TotalBytes(),
@@ -225,12 +231,13 @@ type baseline struct {
 }
 
 func (h *Harness) runBaseline(bs []trace.Benchmark) (*baseline, error) {
+	h.Obs.AddPlanned(len(bs))
 	runs, err := runner.MapTimeout(h.workers(), h.CellTimeout, bs, func(_ int, b trace.Benchmark) (RunResult, error) {
 		r, err := h.RunDesign(config.DesignNoHBM, b)
 		if err != nil {
 			return RunResult{}, fmt.Errorf("baseline %s: %w", b.Profile.Name, err)
 		}
-		h.logf("baseline %-10s IPC %.3f MPKI %5.1f", b.Profile.Name, r.CPU.IPC(), r.CPU.MPKI())
+		h.log("baseline", "bench", b.Profile.Name, "ipc", r.CPU.IPC(), "mpki", r.CPU.MPKI())
 		return r, nil
 	})
 	if err != nil {

@@ -27,6 +27,7 @@ type MALResult struct {
 // benchmark. Each cell runs its benchmark twice (metadata in SRAM, then in
 // HBM) on the same deterministic stream; cells fan out across the pool.
 func (h *Harness) MAL() ([]MALResult, error) {
+	h.Obs.AddPlanned(2 * len(h.Benchmarks())) // each cell runs SRAM- and HBM-metadata
 	return runner.MapTimeout(h.workers(), h.CellTimeout, h.Benchmarks(), func(_ int, b trace.Benchmark) (MALResult, error) {
 		sram, err := h.RunDesign(config.DesignBumblebee, b)
 		if err != nil {
@@ -50,7 +51,7 @@ func (h *Harness) MAL() ([]MALResult, error) {
 		if r.HBMLat > 0 && r.HBMLat > r.SRAMLat {
 			r.MALShare = (r.HBMLat - r.SRAMLat) / r.HBMLat
 		}
-		h.logf("mal %-10s sram %.0f hbm %.0f share %.1f%%", r.Bench, r.SRAMLat, r.HBMLat, r.MALShare*100)
+		h.log("mal", "bench", r.Bench, "sram_lat", r.SRAMLat, "hbm_lat", r.HBMLat, "share_pct", r.MALShare*100)
 		return r, nil
 	})
 }

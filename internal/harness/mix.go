@@ -79,18 +79,25 @@ func (h *Harness) Mix(names []string) ([]MixResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Mix cells run cpu.RunMulti directly rather than Harness.Run, so each
+	// cell reports its own completion (accesses summed over the cores).
+	h.Obs.AddPlanned(len(Fig8Designs))
 	return runner.MapTimeout(h.workers(), h.CellTimeout, Fig8Designs, func(_ int, d config.Design) (MixResult, error) {
 		res, err := h.runMix(d, names)
 		if err != nil {
+			h.Obs.CellFailed(string(d), "mix", err)
 			return MixResult{}, fmt.Errorf("mix %s: %w", d, err)
 		}
 		ws := 0.0
+		var accesses uint64
 		for i := range res {
+			accesses += res[i].Accesses
 			if base[i].IPC() > 0 {
 				ws += res[i].IPC() / base[i].IPC()
 			}
 		}
-		h.logf("mix %-10s weighted speedup %.2f", d, ws)
+		h.Obs.CellDone(string(d), "mix", accesses, nil, nil)
+		h.log("mix", "design", string(d), "weighted_speedup", ws)
 		return MixResult{Design: string(d), PerCore: res, WeightedSpeedup: ws}, nil
 	})
 }

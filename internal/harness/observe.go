@@ -1,0 +1,44 @@
+package harness
+
+import (
+	"repro/internal/hmm"
+	"repro/internal/obs"
+	"repro/internal/telemetry"
+)
+
+// This file bridges the harness to the fleet-observability layer
+// (internal/obs). Observation is strictly one-way: the sweep tracker and
+// the structured logger see cell results after they are final, so neither
+// can perturb the simulation or its determinism.
+
+// counterKVs flattens a design's counters into the named aggregate form
+// the obs exporter serves, in runs.csv column order.
+func counterKVs(c hmm.Counters) []obs.KV {
+	return []obs.KV{
+		{Name: "requests", Value: c.Requests},
+		{Name: "served_hbm", Value: c.ServedHBM},
+		{Name: "served_dram", Value: c.ServedDRAM},
+		{Name: "block_fills", Value: c.BlockFills},
+		{Name: "page_migrations", Value: c.PageMigrations},
+		{Name: "mode_switches", Value: c.ModeSwitches},
+		{Name: "page_swaps", Value: c.PageSwaps},
+		{Name: "evictions", Value: c.Evictions},
+		{Name: "page_faults", Value: c.PageFaults},
+		{Name: "frames_retired", Value: c.FramesRetired},
+	}
+}
+
+// obsDone reports one successful cell to the sweep tracker. lat may be
+// nil when the run collected no telemetry.
+func (h *Harness) obsDone(design, bench string, accesses uint64, counters hmm.Counters, lat *[telemetry.NumTiers]telemetry.Histogram) {
+	h.Obs.CellDone(design, bench, accesses, counterKVs(counters), lat)
+}
+
+// log emits one structured progress record; silent without a logger.
+// slog handlers serialize concurrent writes, so workers log directly.
+func (h *Harness) log(msg string, args ...any) {
+	if h.Log == nil {
+		return
+	}
+	h.Log.Info(msg, args...)
+}

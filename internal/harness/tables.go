@@ -49,12 +49,13 @@ type Table2Row struct {
 // Table2 measures the MPKI and footprint our synthetic stand-ins actually
 // produce, next to the paper's reported values. One benchmark per cell.
 func (h *Harness) Table2() ([]Table2Row, error) {
+	h.Obs.AddPlanned(len(h.Benchmarks()))
 	return runner.MapTimeout(h.workers(), h.CellTimeout, h.Benchmarks(), func(_ int, b trace.Benchmark) (Table2Row, error) {
 		r, err := h.RunDesign(config.DesignNoHBM, b)
 		if err != nil {
 			return Table2Row{}, fmt.Errorf("table2 %s: %w", b.Profile.Name, err)
 		}
-		h.logf("table2 %-10s MPKI %5.1f (paper %5.1f)", b.Profile.Name, r.CPU.MPKI(), b.PaperMPKI)
+		h.log("table2", "bench", b.Profile.Name, "mpki", r.CPU.MPKI(), "paper_mpki", b.PaperMPKI)
 		return Table2Row{
 			Bench:       b.Profile.Name,
 			Class:       b.Class,
@@ -115,6 +116,7 @@ func (h *Harness) Overfetch() (OverfetchResult, error) {
 		fetchedB, usedB, fetchedH, usedH uint64
 	}
 	var res OverfetchResult
+	h.Obs.AddPlanned(2 * len(h.Benchmarks())) // each cell runs Bumblebee and Hybrid2
 	cells, err := runner.MapTimeout(h.workers(), h.CellTimeout, h.Benchmarks(), func(_ int, b trace.Benchmark) (cellOut, error) {
 		rb, err := h.RunDesign(config.DesignBumblebee, b)
 		if err != nil {
@@ -124,8 +126,8 @@ func (h *Harness) Overfetch() (OverfetchResult, error) {
 		if err != nil {
 			return cellOut{}, fmt.Errorf("overfetch %s: %w", b.Profile.Name, err)
 		}
-		h.logf("overfetch %-10s bb %.1f%% h2 %.1f%%", b.Profile.Name,
-			rb.Counters.OverfetchRate()*100, rh.Counters.OverfetchRate()*100)
+		h.log("overfetch", "bench", b.Profile.Name,
+			"bumblebee_pct", rb.Counters.OverfetchRate()*100, "hybrid2_pct", rh.Counters.OverfetchRate()*100)
 		return cellOut{
 			fetchedB: rb.Counters.FetchedBytes, usedB: rb.Counters.UsedBytes,
 			fetchedH: rh.Counters.FetchedBytes, usedH: rh.Counters.UsedBytes,

@@ -1,0 +1,24 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+)
+
+// NewRunLogger builds the structured run logger used for per-cell
+// progress and server lifecycle messages. It is a slog text logger with
+// the timestamp attribute dropped: progress lines interleave live on
+// stderr in worker-completion order anyway (only assembled results are
+// deterministic), and without wall-clock prefixes two runs of the same
+// sweep produce comparable logs — the same philosophy as the rest of the
+// repository's output.
+func NewRunLogger(w io.Writer) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{
+		ReplaceAttr: func(groups []string, a slog.Attr) slog.Attr {
+			if len(groups) == 0 && a.Key == slog.TimeKey {
+				return slog.Attr{}
+			}
+			return a
+		},
+	}))
+}

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	_ "expvar" // register /debug/vars on http.DefaultServeMux
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // register /debug/pprof handlers on http.DefaultServeMux
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Server owns the observability HTTP endpoints of one process: the pprof
+// address (Go runtime profiles, expvar, and /metrics on one mux) and an
+// optional dedicated metrics address serving only /metrics. Unlike the
+// fire-and-forget goroutine it replaces, it has a real lifecycle: Start
+// surfaces bind errors to the caller, and Shutdown drains in-flight
+// scrapes — on context cancellation or on SIGINT/SIGTERM via
+// ShutdownOnSignal — instead of dying mid-response with the process.
+type Server struct {
+	PprofAddr   string       // serve /debug/pprof, /debug/vars and /metrics here ("" disables)
+	MetricsAddr string       // serve only /metrics here ("" disables)
+	Metrics     http.Handler // the /metrics handler; nil serves 404 there
+	Log         *slog.Logger // lifecycle messages; nil is silent
+
+	mu       sync.Mutex
+	servers  []*http.Server
+	bound    []string
+	shutdown chan struct{} // closed by Shutdown to retire the signal watcher
+}
+
+// debugMux wraps http.DefaultServeMux (which carries the pprof and expvar
+// registrations from the blank imports above) and adds /metrics.
+func (s *Server) debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/", http.DefaultServeMux)
+	if s.Metrics != nil {
+		mux.Handle("/metrics", s.Metrics)
+	}
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintf(w, "bumblebee observability endpoints:\n/debug/pprof/\n/debug/vars\n/metrics\n")
+	})
+	return mux
+}
+
+func (s *Server) metricsMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	if s.Metrics != nil {
+		mux.Handle("/metrics", s.Metrics)
+	}
+	return mux
+}
+
+func (s *Server) logf(msg string, args ...any) {
+	if s.Log != nil {
+		s.Log.Info(msg, args...)
+	}
+}
+
+// Start binds every configured address and begins serving in background
+// goroutines. A bind failure (port taken, bad address) is returned to the
+// caller — the old behaviour of logging it from a goroutine let sweeps run
+// for hours with nobody listening. Addresses may ask for port 0; Addrs
+// reports what was actually bound.
+func (s *Server) Start() error {
+	type endpoint struct {
+		addr string
+		mux  http.Handler
+		kind string
+	}
+	var eps []endpoint
+	if s.PprofAddr != "" {
+		eps = append(eps, endpoint{s.PprofAddr, s.debugMux(), "pprof+metrics"})
+	}
+	if s.MetricsAddr != "" {
+		eps = append(eps, endpoint{s.MetricsAddr, s.metricsMux(), "metrics"})
+	}
+	for _, ep := range eps {
+		ln, err := net.Listen("tcp", ep.addr)
+		if err != nil {
+			s.closeLocked() // unwind anything already bound
+			return fmt.Errorf("obs: bind %s (%s): %w", ep.addr, ep.kind, err)
+		}
+		srv := &http.Server{Handler: ep.mux}
+		s.mu.Lock()
+		s.servers = append(s.servers, srv)
+		s.bound = append(s.bound, ln.Addr().String())
+		s.mu.Unlock()
+		s.logf("obs: serving", "kind", ep.kind, "addr", ln.Addr().String())
+		go func() {
+			if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				s.logf("obs: server stopped", "error", err.Error())
+			}
+		}()
+	}
+	return nil
+}
+
+// Addrs returns the addresses actually bound, in Start order.
+func (s *Server) Addrs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.bound...)
+}
+
+// Shutdown gracefully stops every bound server, waiting for in-flight
+// scrapes up to the context deadline. Safe to call more than once and on
+// a server that never started.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	servers := s.servers
+	s.servers = nil
+	if s.shutdown != nil {
+		close(s.shutdown)
+		s.shutdown = nil
+	}
+	s.mu.Unlock()
+	var errs []error
+	for _, srv := range servers {
+		if err := srv.Shutdown(ctx); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func (s *Server) closeLocked() {
+	s.mu.Lock()
+	servers := s.servers
+	s.servers = nil
+	s.bound = nil
+	s.mu.Unlock()
+	for _, srv := range servers {
+		srv.Close()
+	}
+}
+
+// ShutdownOnSignal arranges for the server to shut down gracefully when
+// the process receives SIGINT or SIGTERM, or when ctx is cancelled. After
+// draining (bounded by grace), a received signal is re-raised with the
+// default disposition restored, so the process still terminates with the
+// conventional exit status — a long sweep interrupted at the terminal
+// dies as before, but never with a half-written scrape on the wire. A
+// normal Shutdown retires the watcher without re-raising anything.
+func (s *Server) ShutdownOnSignal(ctx context.Context, grace time.Duration) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	s.mu.Lock()
+	s.shutdown = done
+	s.mu.Unlock()
+	go func() {
+		var sig os.Signal
+		select {
+		case sig = <-ch:
+		case <-ctx.Done():
+		case <-done:
+		}
+		signal.Stop(ch) // restore default disposition: a second ^C kills immediately
+		dctx, cancel := context.WithTimeout(context.Background(), grace)
+		defer cancel()
+		_ = s.Shutdown(dctx)
+		if sig != nil {
+			// Re-deliver the signal so the process exits the conventional
+			// way (exit status 130 for SIGINT, and so on).
+			if p, err := os.FindProcess(os.Getpid()); err == nil {
+				_ = p.Signal(sig)
+			}
+		}
+	}()
+}

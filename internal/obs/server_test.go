@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	c := &http.Client{Timeout: 5 * time.Second}
+	resp, err := c.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestServerServesMetricsAndPprof: both endpoints come up, /metrics
+// exposes the sweep, the pprof mux carries /debug/pprof and /debug/vars,
+// and Shutdown stops serving.
+func TestServerServesMetricsAndPprof(t *testing.T) {
+	s := NewSweep("smoke")
+	s.AddPlanned(2)
+	s.CellDone("bumblebee", "mcf", 100, []KV{{Name: "served_hbm", Value: 7}}, nil)
+	srv := &Server{PprofAddr: "127.0.0.1:0", MetricsAddr: "127.0.0.1:0", Metrics: s.Handler()}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addrs := srv.Addrs()
+	if len(addrs) != 2 {
+		t.Fatalf("bound %d addresses, want 2", len(addrs))
+	}
+	for _, path := range []string{"/metrics", "/debug/vars", "/debug/pprof/"} {
+		code, body := get(t, "http://"+addrs[0]+path)
+		if code != http.StatusOK {
+			t.Fatalf("GET %s on pprof mux: status %d", path, code)
+		}
+		if path == "/metrics" && !strings.Contains(body, "bb_sweep_cells_done{sweep=\"smoke\"} 1") {
+			t.Fatalf("metrics body missing sweep gauge:\n%s", body)
+		}
+	}
+	code, body := get(t, "http://"+addrs[1]+"/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "bb_design_counter_total{counter=\"served_hbm\",design=\"bumblebee\"} 7") {
+		t.Fatalf("metrics-only endpoint: status %d body:\n%s", code, body)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if _, err := (&http.Client{Timeout: time.Second}).Get("http://" + addrs[0] + "/metrics"); err == nil {
+		t.Fatal("pprof endpoint still serving after Shutdown")
+	}
+}
+
+// TestServerBindErrorSurfaces: a taken port must fail Start synchronously
+// (the old StartPprof logged the error from a goroutine and the sweep ran
+// on with nobody listening), and a partial bind must not leak the
+// listener that did succeed.
+func TestServerBindErrorSurfaces(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	srv := &Server{PprofAddr: "127.0.0.1:0", MetricsAddr: ln.Addr().String()}
+	if err := srv.Start(); err == nil {
+		t.Fatal("Start succeeded with the metrics port already taken")
+	} else if !strings.Contains(err.Error(), "bind") {
+		t.Fatalf("error %q does not identify the bind failure", err)
+	}
+	if addrs := srv.Addrs(); len(addrs) != 0 {
+		t.Fatalf("failed Start left bound addresses: %v", addrs)
+	}
+}
+
+// TestShutdownRetiresSignalWatcher: a normal Shutdown must not re-raise
+// any signal; the test passing at all (not dying to a self-delivered
+// SIGINT) is the assertion.
+func TestShutdownRetiresSignalWatcher(t *testing.T) {
+	srv := &Server{MetricsAddr: "127.0.0.1:0", Metrics: (*Sweep)(nil).Handler()}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	srv.ShutdownOnSignal(ctx, time.Second)
+	sctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // give a buggy watcher time to misfire
+}

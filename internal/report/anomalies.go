@@ -1,0 +1,156 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The anomaly rules encode the failure signatures we know how to read
+// out of a run directory. Each is deliberately simple — a threshold over
+// columns the sweep already emits — so a flag always points at concrete
+// numbers the reader can check in the CSVs.
+
+// Rules are the anomaly thresholds; zero values pick the defaults.
+type Rules struct {
+	// ModeSwitchPer1M flags a (design, bench) run whose HBM mode switches
+	// exceed this rate per million demand accesses: the cHBM/POM balancer
+	// oscillating instead of settling (mode-switch thrashing).
+	ModeSwitchPer1M float64
+	// HotPlateauShare flags a run whose hot-table occupancy sits at its
+	// maximum for at least this share of telemetry epochs: the hot set no
+	// longer fits, so promotions are fighting over entries (saturation).
+	HotPlateauShare float64
+	// P99SLOCycles flags a (design, bench, tier) whose p99 service
+	// latency exceeds this many cycles.
+	P99SLOCycles uint64
+}
+
+// defaults fills zero fields.
+func (r Rules) defaults() Rules {
+	if r.ModeSwitchPer1M == 0 {
+		r.ModeSwitchPer1M = 500
+	}
+	if r.HotPlateauShare == 0 {
+		r.HotPlateauShare = 0.5
+	}
+	if r.P99SLOCycles == 0 {
+		r.P99SLOCycles = 5000
+	}
+	return r
+}
+
+// Flag is one triggered anomaly rule.
+type Flag struct {
+	Rule   string // rule identifier, e.g. "mode-switch-thrashing"
+	Design string
+	Bench  string // "" when the rule aggregates over benches
+	Detail string // the numbers that triggered it
+}
+
+// Analyze runs every rule over one loaded run and returns the triggered
+// flags sorted by (rule, design, bench) — deterministic report input.
+func Analyze(run *Run, rules Rules) []Flag {
+	rules = rules.defaults()
+	var flags []Flag
+
+	// Mode-switch thrashing: runs.csv, per (design, bench).
+	for _, r := range run.Runs {
+		accesses := r.ServedHBM + r.ServedDRAM
+		if accesses == 0 {
+			continue
+		}
+		rate := float64(r.ModeSwitches) / float64(accesses) * 1e6
+		if rate > rules.ModeSwitchPer1M {
+			flags = append(flags, Flag{
+				Rule: "mode-switch-thrashing", Design: r.Design, Bench: r.Bench,
+				Detail: fmt.Sprintf("%d mode switches in %d accesses (%.0f/1M > %.0f/1M)",
+					r.ModeSwitches, accesses, rate, rules.ModeSwitchPer1M),
+			})
+		}
+	}
+
+	// Timeline rules need per-(design, bench) epoch series.
+	type key struct{ design, bench string }
+	series := map[key][]TimelineRow{}
+	for _, t := range run.Timeline {
+		if t.HasState {
+			k := key{t.Design, t.Bench}
+			series[k] = append(series[k], t)
+		}
+	}
+	keys := make([]key, 0, len(series))
+	for k := range series {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].design != keys[j].design {
+			return keys[i].design < keys[j].design
+		}
+		return keys[i].bench < keys[j].bench
+	})
+	for _, k := range keys {
+		s := series[k]
+		// Hot-table saturation: occupancy pinned at its maximum for most
+		// of the run.
+		var max uint64
+		for _, t := range s {
+			if t.HotHBM > max {
+				max = t.HotHBM
+			}
+		}
+		if max > 0 {
+			atMax := 0
+			for _, t := range s {
+				if t.HotHBM == max {
+					atMax++
+				}
+			}
+			// atMax >= 2 keeps a still-growing series (whose last sample is
+			// trivially the max) from counting as a plateau.
+			if share := float64(atMax) / float64(len(s)); atMax >= 2 && share >= rules.HotPlateauShare {
+				flags = append(flags, Flag{
+					Rule: "hot-table-saturation", Design: k.design, Bench: k.bench,
+					Detail: fmt.Sprintf("hot-table at max occupancy %d for %d of %d epochs (%.0f%% >= %.0f%%)",
+						max, atMax, len(s), share*100, rules.HotPlateauShare*100),
+				})
+			}
+		}
+		// Mover-budget exhaustion: by the last epoch the mover has skipped
+		// at least as many migrations as it started — the per-epoch budget
+		// is the bottleneck, not the policy.
+		last := s[len(s)-1]
+		if last.MoverSkipped > 0 && last.MoverSkipped >= last.MoverStarted {
+			flags = append(flags, Flag{
+				Rule: "mover-budget-exhausted", Design: k.design, Bench: k.bench,
+				Detail: fmt.Sprintf("mover skipped %d vs started %d by access %d",
+					last.MoverSkipped, last.MoverStarted, last.Access),
+			})
+		}
+	}
+
+	// p99 SLO breach: runs_latency.csv, per (design, bench, tier).
+	for _, l := range run.Latency {
+		if l.Count > 0 && l.P99 > rules.P99SLOCycles {
+			flags = append(flags, Flag{
+				Rule: "p99-slo-breach", Design: l.Design, Bench: l.Bench,
+				Detail: fmt.Sprintf("%s p99 %d cycles > SLO %d (count %d, max %d)",
+					l.Tier, l.P99, rules.P99SLOCycles, l.Count, l.Max),
+			})
+		}
+	}
+
+	sort.Slice(flags, func(i, j int) bool {
+		a, b := flags[i], flags[j]
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		if a.Design != b.Design {
+			return a.Design < b.Design
+		}
+		if a.Bench != b.Bench {
+			return a.Bench < b.Bench
+		}
+		return a.Detail < b.Detail
+	})
+	return flags
+}

@@ -1,0 +1,167 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// The CSV loaders below read the sweep emitters' outputs back by header
+// name, not column index, so a run directory written by an older or newer
+// binary still loads as long as the columns it does have keep their
+// names.
+
+// RunRow is one (design, bench) row of a runs CSV (fig8_runs.csv).
+type RunRow struct {
+	Design, Bench string
+	IPC, MPKI     float64
+	AvgMissLat    float64
+	ServedHBM     uint64
+	ServedDRAM    uint64
+	ModeSwitches  uint64
+	PageMigs      uint64
+	Evictions     uint64
+	DynamicPJ     float64
+}
+
+// TimelineRow is one epoch sample of one run (runs_timeline.csv). The
+// hot-table and mover columns are design-specific and empty for designs
+// that don't report state; Has marks presence.
+type TimelineRow struct {
+	Design, Bench string
+	Access        uint64
+	ModeSwitches  uint64
+	HotHBM        uint64
+	MoverStarted  uint64
+	MoverSkipped  uint64
+	HasState      bool
+}
+
+// LatencyRow is one (design, bench, tier) row of runs_latency.csv.
+type LatencyRow struct {
+	Design, Bench, Tier string
+	Count               uint64
+	P50, P95, P99, Max  uint64
+}
+
+// table reads a CSV into a header map plus rows.
+type table struct {
+	col  map[string]int
+	rows [][]string
+}
+
+func readCSV(path string) (*table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	recs, err := r.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", filepath.Base(path), err)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("%s: empty", filepath.Base(path))
+	}
+	t := &table{col: make(map[string]int, len(recs[0])), rows: recs[1:]}
+	for i, name := range recs[0] {
+		t.col[name] = i
+	}
+	return t, nil
+}
+
+// str returns the named column of row, or "" when the column is absent.
+func (t *table) str(row []string, name string) string {
+	i, ok := t.col[name]
+	if !ok || i >= len(row) {
+		return ""
+	}
+	return row[i]
+}
+
+func (t *table) f64(row []string, name string) float64 {
+	v, _ := strconv.ParseFloat(t.str(row, name), 64)
+	return v
+}
+
+func (t *table) u64(row []string, name string) uint64 {
+	v, _ := strconv.ParseUint(t.str(row, name), 10, 64)
+	return v
+}
+
+// readRuns loads a runs-kind CSV.
+func readRuns(path string) ([]RunRow, error) {
+	t, err := readCSV(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]RunRow, 0, len(t.rows))
+	for _, r := range t.rows {
+		out = append(out, RunRow{
+			Design:       t.str(r, "design"),
+			Bench:        t.str(r, "bench"),
+			IPC:          t.f64(r, "ipc"),
+			MPKI:         t.f64(r, "mpki"),
+			AvgMissLat:   t.f64(r, "avg_miss_latency"),
+			ServedHBM:    t.u64(r, "served_hbm"),
+			ServedDRAM:   t.u64(r, "served_dram"),
+			ModeSwitches: t.u64(r, "mode_switches"),
+			PageMigs:     t.u64(r, "page_migrations"),
+			Evictions:    t.u64(r, "evictions"),
+			DynamicPJ:    t.f64(r, "dynamic_pj"),
+		})
+	}
+	return out, nil
+}
+
+// readTimeline loads a timeline-kind CSV.
+func readTimeline(path string) ([]TimelineRow, error) {
+	t, err := readCSV(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]TimelineRow, 0, len(t.rows))
+	for _, r := range t.rows {
+		row := TimelineRow{
+			Design:       t.str(r, "design"),
+			Bench:        t.str(r, "bench"),
+			Access:       t.u64(r, "access"),
+			ModeSwitches: t.u64(r, "mode_switches"),
+		}
+		// State columns are written empty (not zero) for designs without a
+		// state reporter; any non-empty value marks a stateful sample.
+		if t.str(r, "hot_hbm_entries") != "" {
+			row.HasState = true
+			row.HotHBM = t.u64(r, "hot_hbm_entries")
+			row.MoverStarted = t.u64(r, "mover_started")
+			row.MoverSkipped = t.u64(r, "mover_skipped")
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// readLatency loads a latency-kind CSV.
+func readLatency(path string) ([]LatencyRow, error) {
+	t, err := readCSV(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]LatencyRow, 0, len(t.rows))
+	for _, r := range t.rows {
+		out = append(out, LatencyRow{
+			Design: t.str(r, "design"),
+			Bench:  t.str(r, "bench"),
+			Tier:   t.str(r, "tier"),
+			Count:  t.u64(r, "count"),
+			P50:    t.u64(r, "p50_cycles"),
+			P95:    t.u64(r, "p95_cycles"),
+			P99:    t.u64(r, "p99_cycles"),
+			Max:    t.u64(r, "max_cycles"),
+		})
+	}
+	return out, nil
+}

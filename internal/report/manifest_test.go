@@ -1,0 +1,122 @@
+package report
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestManifestRoundTrip writes a manifest over real files, reads it back,
+// and checks Verify passes clean and catches tampering.
+func TestManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "runs.csv"), []byte("design,bench\na,b\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "lat.csv"), []byte("tier,count\nchbm,1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m := New("bbrepro", "fig8", 128, 1_000_000, 50_000)
+	m.Flags = map[string]string{"faults": "0,2"}
+	// Add out of name order; Write must sort.
+	if err := m.AddOutput(dir, "runs.csv", "runs"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddOutput(dir, "lat.csv", "latency"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tool != "bbrepro" || got.Experiment != "fig8" || got.Scale != 128 ||
+		got.Accesses != 1_000_000 || got.TelemetryEpoch != 50_000 {
+		t.Fatalf("round-trip mismatch: %+v", got)
+	}
+	if got.SeedRule != SeedRule {
+		t.Fatalf("seed rule %q", got.SeedRule)
+	}
+	if len(got.Outputs) != 2 || got.Outputs[0].Name != "lat.csv" || got.Outputs[1].Name != "runs.csv" {
+		t.Fatalf("outputs not sorted: %+v", got.Outputs)
+	}
+	for _, o := range got.Outputs {
+		if len(o.SHA256) != 64 || o.Bytes == 0 {
+			t.Fatalf("bad output record: %+v", o)
+		}
+	}
+	if errs := got.Verify(dir); len(errs) != 0 {
+		t.Fatalf("clean verify failed: %v", errs)
+	}
+
+	// Same-size tamper must be caught by the hash, not the length.
+	if err := os.WriteFile(filepath.Join(dir, "runs.csv"), []byte("design,bench\na,c\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	errs := got.Verify(dir)
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "sha256") {
+		t.Fatalf("tamper not detected: %v", errs)
+	}
+
+	// A deleted output is a second, distinct failure.
+	if err := os.Remove(filepath.Join(dir, "lat.csv")); err != nil {
+		t.Fatal(err)
+	}
+	if errs := got.Verify(dir); len(errs) != 2 {
+		t.Fatalf("want 2 verify errors, got %v", errs)
+	}
+}
+
+// TestManifestDeterministicBytes checks that writing the same manifest
+// twice — with outputs added in different orders — yields identical
+// bytes, the property the parallel-diff CI check rests on.
+func TestManifestDeterministicBytes(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"a.csv", "b.csv"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(name), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	render := func(order []string) []byte {
+		m := New("bbrepro", "fig8", 128, 1000, 0)
+		for _, n := range order {
+			if err := m.AddOutput(dir, n, "table"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := m.Write(dir); err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dir, ManifestName))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	fwd := render([]string{"a.csv", "b.csv"})
+	rev := render([]string{"b.csv", "a.csv"})
+	if string(fwd) != string(rev) {
+		t.Fatalf("manifest bytes depend on AddOutput order:\n%s\nvs\n%s", fwd, rev)
+	}
+}
+
+// TestReadSessionMissing checks the archived-run case: no session.json is
+// fine, a corrupt one is not.
+func TestReadSessionMissing(t *testing.T) {
+	dir := t.TempDir()
+	s, err := ReadSession(dir)
+	if err != nil || s != nil {
+		t.Fatalf("missing session: got %+v, %v", s, err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, SessionName), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSession(dir); err == nil {
+		t.Fatal("corrupt session.json not reported")
+	}
+}
