@@ -7,13 +7,6 @@ import (
 	"repro/internal/config"
 )
 
-// line is one cache line's bookkeeping.
-type line struct {
-	tag   uint64
-	valid bool
-	dirty bool
-}
-
 // Stats counts the events of a single cache level.
 type Stats struct {
 	Hits       uint64
@@ -30,17 +23,58 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
+// policyKind selects the replacement policy compiled into the access
+// loop. The standalone Policy implementations in policy.go describe the
+// same algorithms behind an interface; the cache keeps its policy state
+// in flat arrays and switches on the kind instead, so the hit/victim/fill
+// path runs without dynamic dispatch or per-set slice chasing. Decisions
+// are identical to the interface implementations.
+type policyKind uint8
+
+const (
+	policyLRU policyKind = iota
+	policySRRIP
+	policyDRRIP
+)
+
+const (
+	lineValid     = 1 << 0
+	lineDirty     = 1 << 1
+	lineShiftBits = 2 // tag occupies bits [2,64)
+)
+
 // Cache is one set-associative write-back, write-allocate cache level.
+// Line state is struct-of-arrays: each line is a single packed word
+// (tag<<2 | dirty | valid) in one flat slice indexed by set*ways+way, so a
+// tag probe scans one contiguous run of machine words with one load per
+// way.
 type Cache struct {
 	name      string
 	sets      int
 	ways      int
 	lineBytes uint64
 	lineShift uint
-	policy    Policy
-	lines     [][]line // [set][way]
-	stats     Stats
+	setMask   uint64 // sets-1 (sets is a power of two)
+	setShift  uint   // log2(sets)
+
+	lines []uint64 // [set*ways+way]: tag<<2 | lineDirty | lineValid
+
+	kind policyKind
+	// LRU state: per-line stamps against a per-set logical clock.
+	stamp []uint64 // [set*ways+way]
+	clock []uint64 // [set]
+	// RRIP state, shared by SRRIP and DRRIP. (The original DRRIP kept one
+	// RRPV array per component policy, but every operation left the two
+	// arrays equal, so one array carries both.)
+	rrpv  []uint8 // [set*ways+way]
+	fills uint64  // BRRIP bimodal fill counter (DRRIP only)
+	psel  int     // DRRIP set-dueling selector
+	stats Stats
 }
+
+// drripDuelMask picks the leader sets: set&mask==0 leads SRRIP, ==1 leads
+// BRRIP (matching the standalone DRRIP policy).
+const drripDuelMask = 31
 
 // NewCache builds a cache level from its Table I description.
 func NewCache(cfg config.CacheLevel) (*Cache, error) {
@@ -60,14 +94,31 @@ func NewCache(cfg config.CacheLevel) (*Cache, error) {
 		sets:      sets,
 		ways:      cfg.Ways,
 		lineBytes: cfg.LineBytes,
-		policy:    NewPolicy(cfg.Policy, sets, cfg.Ways),
-		lines:     make([][]line, sets),
+		setMask:   uint64(sets - 1),
+		lines:     make([]uint64, sets*cfg.Ways),
 	}
 	for s := cfg.LineBytes; s > 1; s >>= 1 {
 		c.lineShift++
 	}
-	for i := range c.lines {
-		c.lines[i] = make([]line, cfg.Ways)
+	for s := sets; s > 1; s >>= 1 {
+		c.setShift++
+	}
+	switch cfg.Policy {
+	case "SRRIP":
+		c.kind = policySRRIP
+	case "DRRIP":
+		c.kind = policyDRRIP
+	default:
+		c.kind = policyLRU
+	}
+	if c.kind == policyLRU {
+		c.stamp = make([]uint64, sets*cfg.Ways)
+		c.clock = make([]uint64, sets)
+	} else {
+		c.rrpv = make([]uint8, sets*cfg.Ways)
+		for i := range c.rrpv {
+			c.rrpv[i] = rrpvMax
+		}
 	}
 	return c, nil
 }
@@ -80,7 +131,7 @@ func (c *Cache) Stats() Stats { return c.stats }
 
 func (c *Cache) index(a addr.Addr) (set int, tag uint64) {
 	lineNo := uint64(a) >> c.lineShift
-	return int(lineNo % uint64(c.sets)), lineNo / uint64(c.sets)
+	return int(lineNo & c.setMask), lineNo >> c.setShift
 }
 
 // Eviction describes a line pushed out of a cache level.
@@ -89,42 +140,134 @@ type Eviction struct {
 	Dirty bool
 }
 
+// onHit updates replacement state for a hit on way of set.
+func (c *Cache) onHit(set, base, way int) {
+	if c.kind == policyLRU {
+		c.clock[set]++
+		c.stamp[base+way] = c.clock[set]
+		return
+	}
+	c.rrpv[base+way] = 0
+}
+
+// onFill updates replacement state for a fill into way of set.
+func (c *Cache) onFill(set, base, way int) {
+	switch c.kind {
+	case policyLRU:
+		c.clock[set]++
+		c.stamp[base+way] = c.clock[set]
+	case policySRRIP:
+		c.rrpv[base+way] = rrpvMax - 1 // long re-reference interval
+	default: // DRRIP
+		// A fill means the previous access to this set missed; leaders vote.
+		switch set & drripDuelMask {
+		case 0:
+			if c.psel < 512 {
+				c.psel++ // SRRIP leader missed: penalize SRRIP
+			}
+		case 1:
+			if c.psel > -512 {
+				c.psel--
+			}
+		}
+		if c.useSRRIP(set) {
+			c.rrpv[base+way] = rrpvMax - 1
+		} else {
+			// BRRIP: mostly distant (rrpvMax), occasionally long.
+			c.fills++
+			if c.fills%32 == 0 {
+				c.rrpv[base+way] = rrpvMax - 1
+			} else {
+				c.rrpv[base+way] = rrpvMax
+			}
+		}
+	}
+}
+
+func (c *Cache) useSRRIP(set int) bool {
+	switch set & drripDuelMask {
+	case 0:
+		return true
+	case 1:
+		return false
+	}
+	return c.psel <= 0
+}
+
+// victim selects the way to evict from set. Every way is valid.
+func (c *Cache) victim(set, base int) int {
+	if c.kind == policyLRU {
+		row := c.stamp[base : base+c.ways]
+		victim, min := 0, row[0]
+		for w := 1; w < len(row); w++ {
+			if row[w] < min {
+				victim, min = w, row[w]
+			}
+		}
+		return victim
+	}
+	// RRIP aging, collapsed: repeatedly scanning for rrpvMax and aging
+	// everything by one until a line reaches it is the same as aging every
+	// line by the distance of the oldest line and evicting the first line
+	// that was at the maximum.
+	row := c.rrpv[base : base+c.ways]
+	victim, max := 0, row[0]
+	for w := 1; w < len(row); w++ {
+		if row[w] > max {
+			victim, max = w, row[w]
+		}
+	}
+	if d := rrpvMax - max; d > 0 {
+		for w := range row {
+			row[w] += d
+		}
+	}
+	return victim
+}
+
 // Access looks up a in the cache. On a miss the line is allocated
 // (write-allocate) and the victim, if any, is returned. write marks the
 // line dirty.
 func (c *Cache) Access(a addr.Addr, write bool) (hit bool, ev Eviction, evicted bool) {
 	set, tag := c.index(a)
-	row := c.lines[set]
-	for w := range row {
-		if row[w].valid && row[w].tag == tag {
+	base := set * c.ways
+	row := c.lines[base : base+c.ways]
+	// One pass finds both a hit and the first invalid way. Folding the
+	// dirty bit makes the probe a single compare: only a valid line with
+	// a matching tag can equal the target (the valid bit differs
+	// otherwise).
+	target := tag<<lineShiftBits | lineDirty | lineValid
+	way := -1
+	for w, v := range row {
+		if v|lineDirty == target {
 			c.stats.Hits++
-			c.policy.OnHit(set, w)
+			c.onHit(set, base, w)
 			if write {
-				row[w].dirty = true
+				row[w] = v | lineDirty
 			}
 			return true, Eviction{}, false
 		}
-	}
-	c.stats.Misses++
-	// Find an invalid way first.
-	way := -1
-	for w := range row {
-		if !row[w].valid {
+		if v&lineValid == 0 && way == -1 {
 			way = w
-			break
 		}
 	}
+	c.stats.Misses++
 	if way == -1 {
-		way = c.policy.Victim(set)
-		victim := row[way]
-		ev = Eviction{Addr: c.lineAddr(set, victim.tag), Dirty: victim.dirty}
+		way = c.victim(set, base)
+		old := row[way]
+		dirty := old&lineDirty != 0
+		ev = Eviction{Addr: c.lineAddr(set, old>>lineShiftBits), Dirty: dirty}
 		evicted = true
-		if victim.dirty {
+		if dirty {
 			c.stats.Writebacks++
 		}
 	}
-	row[way] = line{tag: tag, valid: true, dirty: write}
-	c.policy.OnFill(set, way)
+	v := tag<<lineShiftBits | lineValid
+	if write {
+		v |= lineDirty
+	}
+	row[way] = v
+	c.onFill(set, base, way)
 	return false, ev, evicted
 }
 
@@ -132,8 +275,10 @@ func (c *Cache) Access(a addr.Addr, write bool) (hit bool, ev Eviction, evicted 
 // effects).
 func (c *Cache) Contains(a addr.Addr) bool {
 	set, tag := c.index(a)
-	for _, l := range c.lines[set] {
-		if l.valid && l.tag == tag {
+	base := set * c.ways
+	target := tag<<lineShiftBits | lineValid
+	for _, v := range c.lines[base : base+c.ways] {
+		if v|lineDirty == target|lineDirty {
 			return true
 		}
 	}
@@ -141,7 +286,7 @@ func (c *Cache) Contains(a addr.Addr) bool {
 }
 
 func (c *Cache) lineAddr(set int, tag uint64) addr.Addr {
-	return addr.Addr((tag*uint64(c.sets) + uint64(set)) << c.lineShift)
+	return addr.Addr((tag<<c.setShift | uint64(set)) << c.lineShift)
 }
 
 // Hierarchy chains cache levels; Access walks L1 -> LLC and reports
@@ -192,7 +337,9 @@ type Result struct {
 // escape to memory and are reported in Result.Writebacks.
 func (h *Hierarchy) Access(a addr.Addr, write bool) Result {
 	h.wbBuf = h.wbBuf[:0]
-	h.prefetch(a)
+	if h.pf != nil {
+		h.prefetch(a)
+	}
 	llc := len(h.levels) - 1
 	res := Result{HitLevel: -1}
 	for i, c := range h.levels {

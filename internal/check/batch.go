@@ -1,0 +1,152 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/hmm"
+	"repro/internal/telemetry"
+)
+
+// BatchConfig tunes the scalar-vs-batch differential run. The zero value
+// is usable.
+type BatchConfig struct {
+	// BatchSize is how many demand accesses go into one AccessBatch
+	// slice; <= 0 means 4096. Writebacks always flush the pending batch,
+	// so op streams with writebacks exercise ragged batch boundaries at
+	// any size.
+	BatchSize int
+	// Epoch attaches a telemetry probe with this epoch (in accesses) to
+	// both instances and requires their latency histograms to stay
+	// identical; 0 still compares histograms but with epoch sampling off.
+	Epoch uint64
+}
+
+// BatchLockstep replays ops against two fresh instances built by mk: a
+// reference driven through scalar Access one op at a time, and a subject
+// driven through AccessBatch. Per the AccessBatch contract the ops of a
+// batch issue back to back (each at the completion cycle of the previous
+// one), so the reference mirrors exactly that chaining. Writebacks flush
+// the pending batch and issue scalarly on both instances.
+//
+// At every batch boundary the two instances must agree on: every
+// completion cycle of the batch, the full counter set, the per-tier
+// latency histograms, and the Inspector's view (PageInfo and LocateLine)
+// of every address the batch touched. The first divergence is returned as
+// a Violation anchored to the op that exposed it — the same shape the
+// ddmin shrinker consumes, so a batch-path bug reduces to a minimal op
+// sequence via ShrinkWith(BatchReplay(mk, cfg), ops).
+//
+// A design that does not implement hmm.BatchMemSystem passes vacuously
+// (there is no batch path to diverge), as does a factory error: suite
+// plumbing reports those separately.
+func BatchLockstep(mk Factory, ops []Op, cfg BatchConfig) *Violation {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 4096
+	}
+	ref, err := mk()
+	if err != nil {
+		return nil
+	}
+	sub, err := mk()
+	if err != nil {
+		return nil
+	}
+	bsub, ok := sub.(hmm.BatchMemSystem)
+	if !ok {
+		return nil
+	}
+	refProbe := telemetry.NewProbe(cfg.Epoch, 1)
+	subProbe := telemetry.NewProbe(cfg.Epoch, 1)
+	ref.Devices().AttachTelemetry(refProbe)
+	sub.Devices().AttachTelemetry(subProbe)
+	refInsp, _ := ref.(hmm.Inspector)
+	subInsp, _ := sub.(hmm.Inspector)
+
+	var tRef, tSub uint64
+	pending := make([]hmm.Op, 0, cfg.BatchSize)
+	pendIdx := make([]int, 0, cfg.BatchSize)
+
+	boundary := func(at int) *Violation {
+		if rc, sc := ref.Counters(), sub.Counters(); rc != sc {
+			return &Violation{OpIndex: at, Kind: "batch-counters",
+				Msg: fmt.Sprintf("scalar and batch counters diverge: %+v vs %+v", rc, sc)}
+		}
+		if refProbe.Lat != subProbe.Lat {
+			return &Violation{OpIndex: at, Kind: "batch-telemetry",
+				Msg: "scalar and batch latency histograms diverge"}
+		}
+		return nil
+	}
+
+	flush := func() *Violation {
+		if len(pending) == 0 {
+			return nil
+		}
+		out := bsub.AccessBatch(tSub, pending)
+		for i, op := range pending {
+			tRef = ref.Access(tRef, op.Addr, op.Write)
+			if out[i] != tRef {
+				return &Violation{OpIndex: pendIdx[i], Kind: "batch-done",
+					Msg: fmt.Sprintf("addr %#x: batch completion %d, scalar completion %d",
+						uint64(op.Addr), out[i], tRef)}
+			}
+		}
+		tSub = out[len(out)-1]
+		last := pendIdx[len(pendIdx)-1]
+		if v := boundary(last); v != nil {
+			return v
+		}
+		if refInsp != nil && subInsp != nil {
+			for i, op := range pending {
+				if rp, sp := refInsp.InspectAddr(op.Addr), subInsp.InspectAddr(op.Addr); rp != sp {
+					return &Violation{OpIndex: pendIdx[i], Kind: "batch-inspect",
+						Msg: fmt.Sprintf("addr %#x: scalar sees %+v, batch sees %+v",
+							uint64(op.Addr), rp, sp)}
+				}
+				if rl, sl := refInsp.LocateLine(op.Addr), subInsp.LocateLine(op.Addr); rl != sl {
+					return &Violation{OpIndex: pendIdx[i], Kind: "batch-locate",
+						Msg: fmt.Sprintf("addr %#x: scalar locates %s, batch locates %s",
+							uint64(op.Addr), rl, sl)}
+				}
+			}
+		}
+		pending = pending[:0]
+		pendIdx = pendIdx[:0]
+		return nil
+	}
+
+	for i, op := range ops {
+		if op.WB {
+			if v := flush(); v != nil {
+				return v
+			}
+			ref.Writeback(tRef, op.Addr)
+			bsub.Writeback(tSub, op.Addr)
+			if v := boundary(i); v != nil {
+				return v
+			}
+			continue
+		}
+		pending = append(pending, hmm.Op{Addr: op.Addr, Write: op.Write})
+		pendIdx = append(pendIdx, i)
+		if len(pending) == cfg.BatchSize {
+			if v := flush(); v != nil {
+				return v
+			}
+		}
+	}
+	if v := flush(); v != nil {
+		return v
+	}
+	if len(ops) > 0 {
+		return boundary(len(ops) - 1)
+	}
+	return nil
+}
+
+// BatchReplay adapts BatchLockstep to the ShrinkWith predicate shape, so
+// batch divergences minimize with the same ddmin machinery as scalar
+// oracle violations.
+func BatchReplay(mk Factory, cfg BatchConfig) func([]Op) *Violation {
+	return func(cand []Op) *Violation { return BatchLockstep(mk, cand, cfg) }
+}

@@ -1,0 +1,193 @@
+package check
+
+import (
+	"testing"
+
+	"repro/internal/baselines/alloy"
+	"repro/internal/baselines/banshee"
+	"repro/internal/baselines/chameleon"
+	"repro/internal/baselines/hybrid2"
+	"repro/internal/baselines/nohbm"
+	"repro/internal/baselines/unison"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/hmm"
+	"repro/internal/runner"
+)
+
+// Every design must expose the devirtualized batch path; losing one would
+// silently downgrade that design to the scalar fallback in sweeps.
+var (
+	_ hmm.BatchMemSystem = (*core.Bumblebee)(nil)
+	_ hmm.BatchMemSystem = (*alloy.Cache)(nil)
+	_ hmm.BatchMemSystem = (*banshee.Cache)(nil)
+	_ hmm.BatchMemSystem = (*chameleon.System)(nil)
+	_ hmm.BatchMemSystem = (*hybrid2.System)(nil)
+	_ hmm.BatchMemSystem = (*nohbm.System)(nil)
+	_ hmm.BatchMemSystem = (*unison.Cache)(nil)
+)
+
+// TestBatchLockstepAllDesigns: the scalar and batch paths of every design
+// must agree op for op — completion cycles, counters, telemetry, and
+// inspector state — across degenerate, ragged, and production batch
+// sizes. This is the batch-path analogue of TestQuickSuite and runs as
+// part of it via Suite.RunCell; this direct test keeps a small fast
+// always-on version that does not depend on suite plumbing.
+func TestBatchLockstepAllDesigns(t *testing.T) {
+	sys := quickSys(t)
+	for _, d := range harness.AllDesigns {
+		d := d
+		t.Run(string(d), func(t *testing.T) {
+			mk := func() (hmm.MemSystem, error) { return harness.Build(d, sys) }
+			ops := GenOps(FamilyZipf, runner.Seed("batch", string(d)), 1500, sys)
+			for _, bs := range []int{1, 7, 4096} {
+				if v := BatchLockstep(mk, ops, BatchConfig{BatchSize: bs, Epoch: 97}); v != nil {
+					t.Fatalf("batch size %d: %v", bs, v)
+				}
+			}
+		})
+	}
+}
+
+// dropTail is the injected batch-path bug: its AccessBatch silently drops
+// the last op of every slice, fabricating that op's completion from its
+// predecessor — the "kernel forgets the tail of the batch" class of bug,
+// invisible to the scalar oracle because the scalar path is untouched.
+type dropTail struct{ *core.Bumblebee }
+
+func (m dropTail) AccessBatch(now uint64, ops []hmm.Op) []uint64 {
+	if len(ops) <= 1 {
+		out := m.Bumblebee.AccessBatch(now, ops[:0])
+		return append(out, now)
+	}
+	out := m.Bumblebee.AccessBatch(now, ops[:len(ops)-1])
+	return append(out, out[len(out)-1])
+}
+
+// TestMutantBatchDropsTailOp: the batch differential must catch a kernel
+// that drops ops, and ddmin over BatchReplay must reduce the repro to at
+// most 2 ops (a single access already diverges the Requests counter).
+func TestMutantBatchDropsTailOp(t *testing.T) {
+	sys := quickSys(t)
+	mk := func() (hmm.MemSystem, error) {
+		mem, err := core.New(sys)
+		if err != nil {
+			return nil, err
+		}
+		return dropTail{mem}, nil
+	}
+	ops := GenOps(FamilyZipf, runner.Seed("mutant-batch"), 2000, sys)
+	cfg := BatchConfig{BatchSize: 7, Epoch: 97}
+	if v := BatchLockstep(mk, ops, cfg); v == nil {
+		t.Fatal("dropped-tail batch mutant not caught")
+	}
+	shrunk, sv := ShrinkWith(BatchReplay(mk, cfg), ops)
+	if sv == nil {
+		t.Fatal("shrink lost the batch violation")
+	}
+	if len(shrunk) > 2 {
+		t.Fatalf("shrunk repro has %d ops, want <= 2: %s", len(shrunk), EncodeOps(shrunk))
+	}
+	t.Logf("shrunk to %d ops: %s (%v)", len(shrunk), EncodeOps(shrunk), sv)
+}
+
+// skewedDone corrupts only the reported completion cycles: the batch
+// executes correctly but claims every op finished one cycle late — the
+// "timing accounting drift" class of bug, where model metrics (IPC) would
+// silently shift while counters stay clean.
+type skewedDone struct{ *core.Bumblebee }
+
+func (m skewedDone) AccessBatch(now uint64, ops []hmm.Op) []uint64 {
+	out := m.Bumblebee.AccessBatch(now, ops)
+	for i := range out {
+		out[i]++
+	}
+	return out
+}
+
+// TestMutantBatchSkewedCompletion: per-op completion comparison must
+// catch timing drift even when counters and inspector state agree.
+func TestMutantBatchSkewedCompletion(t *testing.T) {
+	sys := quickSys(t)
+	mk := func() (hmm.MemSystem, error) {
+		mem, err := core.New(sys)
+		if err != nil {
+			return nil, err
+		}
+		return skewedDone{mem}, nil
+	}
+	ops := GenOps(FamilyScan, runner.Seed("mutant-skew"), 500, sys)
+	cfg := BatchConfig{BatchSize: 64}
+	v := BatchLockstep(mk, ops, cfg)
+	if v == nil {
+		t.Fatal("skewed-completion batch mutant not caught")
+	}
+	if v.Kind != "batch-done" {
+		t.Fatalf("want batch-done violation, got %v", v)
+	}
+	shrunk, sv := ShrinkWith(BatchReplay(mk, cfg), ops)
+	if sv == nil {
+		t.Fatal("shrink lost the violation")
+	}
+	if len(shrunk) > 2 {
+		t.Fatalf("shrunk repro has %d ops, want <= 2: %s", len(shrunk), EncodeOps(shrunk))
+	}
+}
+
+// TestBatchSuiteCatchesBatchBug: the full suite plumbing (RunCell) must
+// surface a batch-path divergence even though the scalar oracle passes,
+// proving the differential is actually wired into the sweep and not just
+// available as a library call.
+func TestBatchSuiteCatchesBatchBug(t *testing.T) {
+	sys := quickSys(t)
+	s := Suite{
+		Sys:        sys,
+		Designs:    []config.Design{config.DesignBumblebee},
+		Families:   []Family{FamilyZipf},
+		OpsPerCell: 800,
+	}
+	cell := Cell{Design: config.DesignBumblebee, Family: FamilyZipf}
+	clean, err := s.RunCell(cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Violation != nil {
+		t.Fatalf("clean cell violated: %v", clean.Violation)
+	}
+	// Same cell, but the factory wraps the design in the tail-dropping
+	// batch mutant. runCellWith is not exported, so reproduce the suite's
+	// exact sequence by hand: scalar oracle first, then the batch
+	// differential across the suite's sizes.
+	seed := CellSeed(cell)
+	ops := GenOps(cell.Family, runner.SeedFold(seed, 0), s.OpsPerCell, s.Sys)
+	mk := func() (hmm.MemSystem, error) {
+		mem, err := core.New(sys)
+		if err != nil {
+			return nil, err
+		}
+		return dropTail{mem}, nil
+	}
+	if v := RunOps(must(t, mk), ops, Config{}); v != nil {
+		t.Fatalf("scalar oracle flagged a batch-only mutant: %v", v)
+	}
+	caught := false
+	for _, bs := range s.batchSizes() {
+		if v := BatchLockstep(mk, ops, BatchConfig{BatchSize: bs, Epoch: s.batchEpoch()}); v != nil {
+			caught = true
+			break
+		}
+	}
+	if !caught {
+		t.Fatal("suite batch sizes missed the batch-only mutant")
+	}
+}
+
+func must(t *testing.T, mk Factory) hmm.MemSystem {
+	t.Helper()
+	mem, err := mk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mem
+}

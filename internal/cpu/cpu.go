@@ -63,7 +63,23 @@ type RunOption func(*runCfg)
 
 type runCfg struct {
 	pfEntries, pfDegree int
+	accBuf              []trace.Access
 }
+
+// batchSize is how many trace accesses Run ingests per batch: large
+// enough to amortize the stream's interface dispatch, small enough to
+// stay cache-resident.
+const batchSize = 4096
+
+// WithAccessBuffer supplies a reusable trace ingestion buffer, so sweep
+// drivers running many cells don't allocate one per Run call.
+func WithAccessBuffer(buf []trace.Access) RunOption {
+	return func(c *runCfg) { c.accBuf = buf }
+}
+
+// AccessBufferSize returns the ingestion buffer length expected by Run;
+// shorter WithAccessBuffer buffers are used as-is with smaller batches.
+func AccessBufferSize() int { return batchSize }
 
 // WithPrefetch attaches a stride prefetcher beside the L2 (hierarchy
 // level 1): confirmed-stride lines are installed ahead of the demand
@@ -100,58 +116,68 @@ func Run(core config.Core, hier *cache.Hierarchy, mem Memory, st trace.Stream, o
 	// Outstanding miss completion times (bounded by MLP).
 	outstanding := make([]float64, 0, core.MLP)
 
+	// Trace accesses are ingested in batches (one stream dispatch per
+	// batchSize accesses); miss issue times depend on completions of
+	// earlier misses through the MLP window, so the memory side below
+	// stays scalar by construction.
+	buf := cfg.accBuf
+	if len(buf) == 0 {
+		buf = make([]trace.Access, batchSize)
+	}
 	for {
-		acc, ok := st.Next()
-		if !ok {
+		n := trace.FillBatch(st, buf)
+		if n == 0 {
 			break
 		}
-		res.Accesses++
-		res.Instructions += uint64(acc.Gap)
-		time += float64(acc.Gap) * core.CPIBase
+		for _, acc := range buf[:n] {
+			res.Accesses++
+			res.Instructions += uint64(acc.Gap)
+			time += float64(acc.Gap) * core.CPIBase
 
-		r := hier.Access(acc.Addr, acc.Write)
-		// Prefetch fills fetch from memory without stalling the core.
-		for _, pa := range pfPending {
-			mem.Access(uint64(time), pa, false)
-		}
-		pfPending = pfPending[:0]
-		for _, wb := range r.Writebacks {
-			res.Writebacks++
-			mem.Writeback(uint64(time), wb)
-		}
-		if r.HitLevel > 0 {
-			// Inner-cache hits beyond L1 stall for a fraction of their
-			// latency; out-of-order execution hides the rest.
-			time += float64(r.HitLatency) / float64(core.MLP)
-			continue
-		}
-		if r.HitLevel == 0 {
-			continue // L1 hits are covered by CPIBase
-		}
+			r := hier.Access(acc.Addr, acc.Write)
+			// Prefetch fills fetch from memory without stalling the core.
+			for _, pa := range pfPending {
+				mem.Access(uint64(time), pa, false)
+			}
+			pfPending = pfPending[:0]
+			for _, wb := range r.Writebacks {
+				res.Writebacks++
+				mem.Writeback(uint64(time), wb)
+			}
+			if r.HitLevel > 0 {
+				// Inner-cache hits beyond L1 stall for a fraction of their
+				// latency; out-of-order execution hides the rest.
+				time += float64(r.HitLatency) / float64(core.MLP)
+				continue
+			}
+			if r.HitLevel == 0 {
+				continue // L1 hits are covered by CPIBase
+			}
 
-		// LLC miss. If the MLP window is full, the core stalls until the
-		// oldest outstanding miss returns.
-		if len(outstanding) >= core.MLP {
-			min, idx := outstanding[0], 0
-			for i, c := range outstanding {
-				if c < min {
-					min, idx = c, i
+			// LLC miss. If the MLP window is full, the core stalls until the
+			// oldest outstanding miss returns.
+			if len(outstanding) >= core.MLP {
+				min, idx := outstanding[0], 0
+				for i, c := range outstanding {
+					if c < min {
+						min, idx = c, i
+					}
 				}
+				if min > time {
+					time = min
+				}
+				outstanding[idx] = outstanding[len(outstanding)-1]
+				outstanding = outstanding[:len(outstanding)-1]
 			}
-			if min > time {
-				time = min
+			issue := time + missBase
+			done := float64(mem.Access(uint64(issue), acc.Addr, acc.Write))
+			if done < issue {
+				done = issue
 			}
-			outstanding[idx] = outstanding[len(outstanding)-1]
-			outstanding = outstanding[:len(outstanding)-1]
+			res.LLCMisses++
+			res.TotalMissLatency += uint64(done - time)
+			outstanding = append(outstanding, done)
 		}
-		issue := time + missBase
-		done := float64(mem.Access(uint64(issue), acc.Addr, acc.Write))
-		if done < issue {
-			done = issue
-		}
-		res.LLCMisses++
-		res.TotalMissLatency += uint64(done - time)
-		outstanding = append(outstanding, done)
 	}
 
 	// Drain: the run ends when the last miss returns.

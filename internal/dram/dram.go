@@ -75,6 +75,20 @@ type Device struct {
 	nsPerCycle float64
 	burstBytes uint64
 
+	// Shift/mask address decode, valid when interleave granularity,
+	// channel count, row size and bank count are all powers of two
+	// (locFast); locate falls back to division otherwise.
+	locFast     bool
+	ileaveShift uint
+	ileaveMask  uint64
+	chShift     uint
+	chMask      uint64
+	rowShift    uint
+	bankShift   uint
+	bankMask    uint64
+	// transfer64 is the precomputed bus occupancy of a 64 B burst.
+	transfer64 uint64
+
 	// backgroundMW is the standby-plus-refresh power of the whole
 	// device in mW, used for the static-energy estimate.
 	backgroundMW float64
@@ -120,6 +134,24 @@ func New(cfg config.DRAMDevice, cpuFreqMHz uint64) (*Device, error) {
 	d.cyclesPerByte = cpuPerDev / bytesPerDevClock
 	d.burstBytes = 64 // one DRAM burst transfers one 64 B beat group
 
+	d.transfer64 = uint64(math.Ceil(64 * d.cyclesPerByte))
+	if d.transfer64 == 0 {
+		d.transfer64 = 1
+	}
+	if sh, ok1 := log2(cfg.InterleaveB); ok1 {
+		if chSh, ok2 := log2(uint64(cfg.Channels)); ok2 {
+			if rowSh, ok3 := log2(cfg.RowBytes); ok3 {
+				if bkSh, ok4 := log2(uint64(cfg.Banks)); ok4 {
+					d.locFast = true
+					d.ileaveShift, d.ileaveMask = sh, cfg.InterleaveB-1
+					d.chShift, d.chMask = chSh, uint64(cfg.Channels-1)
+					d.rowShift = rowSh
+					d.bankShift, d.bankMask = bkSh, uint64(cfg.Banks-1)
+				}
+			}
+		}
+	}
+
 	d.nsPerCycle = 1e3 / float64(cpuFreqMHz)
 	devClockNS := 1e3 / float64(cfg.Timing.ClockMHz)
 
@@ -154,6 +186,18 @@ func New(cfg config.DRAMDevice, cpuFreqMHz uint64) (*Device, error) {
 	return d, nil
 }
 
+// log2 returns the base-2 logarithm of n when n is a power of two.
+func log2(n uint64) (uint, bool) {
+	if n == 0 || n&(n-1) != 0 {
+		return 0, false
+	}
+	var s uint
+	for ; n > 1; n >>= 1 {
+		s++
+	}
+	return s, true
+}
+
 func maxU64(a, b uint64) uint64 {
 	if a > b {
 		return a
@@ -181,6 +225,12 @@ func (d *Device) ResetStats() { d.stats = Stats{} }
 
 // locate maps a device-local address to (channel, bank, row).
 func (d *Device) locate(a addr.Addr) (ch, bk int, row int64) {
+	if d.locFast {
+		ileave := uint64(a) >> d.ileaveShift
+		local := (ileave>>d.chShift)<<d.ileaveShift | uint64(a)&d.ileaveMask
+		rowGlobal := local >> d.rowShift
+		return int(ileave & d.chMask), int(rowGlobal & d.bankMask), int64(rowGlobal >> d.bankShift)
+	}
 	ileave := uint64(a) / d.cfg.InterleaveB
 	ch = int(ileave % uint64(d.cfg.Channels))
 	// Address within the channel after removing interleaving.
@@ -199,6 +249,10 @@ func (d *Device) locate(a addr.Addr) (ch, bk int, row int64) {
 func (d *Device) Access(now uint64, a addr.Addr, bytes uint64, write bool) uint64 {
 	if bytes == 0 {
 		return now
+	}
+	if d.locFast && uint64(a)&d.ileaveMask+bytes <= d.cfg.InterleaveB {
+		// Fast path: the whole transfer fits in one interleave chunk.
+		return d.burst(now, a, bytes, write)
 	}
 	done := now
 	for off := uint64(0); off < bytes; {
@@ -266,9 +320,12 @@ func (d *Device) burst(now uint64, a addr.Addr, bytes uint64, write bool) uint64
 	}
 	bk.openRow = row
 
-	transfer := uint64(math.Ceil(float64(bytes) * d.cyclesPerByte))
-	if transfer == 0 {
-		transfer = 1
+	transfer := d.transfer64
+	if bytes != 64 {
+		transfer = uint64(math.Ceil(float64(bytes) * d.cyclesPerByte))
+		if transfer == 0 {
+			transfer = 1
+		}
 	}
 	busStart := start + cmdLat
 	if ch.busUntil > busStart {

@@ -19,6 +19,7 @@ package harness
 import (
 	"fmt"
 	"log/slog"
+	"sync"
 	"time"
 
 	"repro/internal/cache"
@@ -65,6 +66,13 @@ type Harness struct {
 	// telemetry.DefaultTraceDepth. Only meaningful with TelemetryEpoch > 0.
 	TraceDepth int
 }
+
+// accBufPool holds trace ingestion buffers (see cpu.WithAccessBuffer),
+// stored by pointer so Get/Put do not themselves allocate.
+var accBufPool = sync.Pool{New: func() any {
+	buf := make([]trace.Access, cpu.AccessBufferSize())
+	return &buf
+}}
 
 // New returns a harness at the default reproduction scale.
 func New() *Harness {
@@ -174,7 +182,14 @@ func (h *Harness) Run(sys config.System, mem hmm.MemSystem, b trace.Benchmark) (
 		}
 		mem.Devices().AttachTelemetry(probe)
 	}
-	res, err := cpu.Run(sys.Core, hier, mem, &trace.Limit{S: gen, N: h.Accesses})
+	// Trace ingestion buffers are pooled across cells (workers return them
+	// when the cell finishes), so sweeps do not allocate one per cell. The
+	// buffer is scratch space fully rewritten each batch — sharing cannot
+	// leak state between cells.
+	accBuf := accBufPool.Get().(*[]trace.Access)
+	res, err := cpu.Run(sys.Core, hier, mem, &trace.Limit{S: gen, N: h.Accesses},
+		cpu.WithAccessBuffer(*accBuf))
+	accBufPool.Put(accBuf)
 	if err != nil {
 		// Include the cell's replay identity: the seed pins the workload
 		// and fault streams, the epoch pins the sampling cadence, so the

@@ -1,0 +1,69 @@
+package hmm
+
+import "repro/internal/addr"
+
+// Op is one demand access of a batch: the post-LLC address and whether it
+// is a store.
+type Op struct {
+	Addr  addr.Addr
+	Write bool
+}
+
+// BatchMemSystem is a MemSystem that can serve a slice of accesses with
+// one interface dispatch. AccessBatch issues ops back to back: the first
+// op issues at now, each subsequent op at the completion cycle of the
+// previous one, and the returned slice holds each op's completion cycle —
+// exactly the sequence produced by
+//
+//	t := now
+//	for i, op := range ops { out[i] = sys.Access(t, op.Addr, op.Write); t = out[i] }
+//
+// but through the design's devirtualized inner kernel. The returned slice
+// is owned by the system and valid until the next AccessBatch call.
+// Every design in this repo implements BatchMemSystem; the scalar Access
+// remains the primitive for callers (like the core model) whose issue
+// times depend on earlier completions.
+type BatchMemSystem interface {
+	MemSystem
+	AccessBatch(now uint64, ops []Op) []uint64
+}
+
+// AccessBatch runs ops through sys, using the batch path when the design
+// provides one and the scalar chained loop otherwise. out is reused when
+// large enough; the returned slice aliases it in the scalar case.
+func AccessBatch(sys MemSystem, now uint64, ops []Op, out []uint64) []uint64 {
+	if bs, ok := sys.(BatchMemSystem); ok {
+		return bs.AccessBatch(now, ops)
+	}
+	if cap(out) < len(ops) {
+		out = make([]uint64, len(ops))
+	}
+	out = out[:len(ops)]
+	t := now
+	for i, op := range ops {
+		t = sys.Access(t, op.Addr, op.Write)
+		out[i] = t
+	}
+	return out
+}
+
+// BatchBuf is the reusable completion buffer embedded by each design's
+// AccessBatch implementation (zero allocations in steady state). Each
+// design writes its own chained loop over its scalar kernel so the inner
+// call is direct, not an interface or func-value dispatch.
+type BatchBuf struct{ out []uint64 }
+
+// Take returns a zero-length slice with capacity >= n, reusing the
+// previous allocation when possible.
+func (b *BatchBuf) Take(n int) []uint64 {
+	if cap(b.out) < n {
+		b.out = make([]uint64, 0, n)
+	}
+	return b.out[:0]
+}
+
+// Keep stores the filled slice for reuse by the next call and returns it.
+func (b *BatchBuf) Keep(out []uint64) []uint64 {
+	b.out = out
+	return out
+}

@@ -465,9 +465,14 @@ func (c *MetaCache) Lookup(now uint64, k uint64) uint64 {
 
 // FetchTracker accounts over-fetching: bytes brought into HBM versus
 // bytes of those actually touched before eviction, at 64 B granularity.
+// Frame keys are small dense integers (HBM frames or way slots), so the
+// per-frame bitmaps live in one flat arena indexed by frame instead of a
+// map — the common OnUse/OnFetch path is two loads and no hashing.
 type FetchTracker struct {
 	wordsPerPage uint64
-	pages        map[uint64][]uint64 // HBM frame -> fetched-and-unused bitmap
+	bmWords      uint64   // bitmap words per frame
+	bits         []uint64 // [frame*bmWords+w], fetched-and-unused bitmap
+	present      []bool   // frame has live bookkeeping
 
 	Fetched uint64
 	Used    uint64
@@ -475,19 +480,29 @@ type FetchTracker struct {
 
 // NewFetchTracker builds a tracker for pages of pageSize bytes.
 func NewFetchTracker(pageSize uint64) *FetchTracker {
+	wpp := pageSize / 64
 	return &FetchTracker{
-		wordsPerPage: pageSize / 64,
-		pages:        make(map[uint64][]uint64),
+		wordsPerPage: wpp,
+		bmWords:      (wpp + 63) / 64,
 	}
 }
 
+// bitmap returns frame page's bitmap words, growing the arena on first
+// touch of a new high-water frame.
 func (t *FetchTracker) bitmap(page uint64) []uint64 {
-	bm, ok := t.pages[page]
-	if !ok {
-		bm = make([]uint64, (t.wordsPerPage+63)/64)
-		t.pages[page] = bm
+	if page >= uint64(len(t.present)) {
+		n := page + 1
+		if n < 2*uint64(len(t.present)) {
+			n = 2 * uint64(len(t.present))
+		}
+		bits := make([]uint64, n*t.bmWords)
+		copy(bits, t.bits)
+		present := make([]bool, n)
+		copy(present, t.present)
+		t.bits, t.present = bits, present
 	}
-	return bm
+	t.present[page] = true
+	return t.bits[page*t.bmWords : (page+1)*t.bmWords]
 }
 
 // OnFetch records that bytes at offset off of HBM frame page were brought
@@ -503,10 +518,10 @@ func (t *FetchTracker) OnFetch(page, off, bytes uint64) {
 // OnUse records a demand touch of bytes at offset off of HBM frame page;
 // first touches of fetched words count toward Used.
 func (t *FetchTracker) OnUse(page, off, bytes uint64) {
-	bm, ok := t.pages[page]
-	if !ok {
+	if page >= uint64(len(t.present)) || !t.present[page] {
 		return
 	}
+	bm := t.bits[page*t.bmWords : (page+1)*t.bmWords]
 	for w := off / 64; w < (off+bytes+63)/64 && w < t.wordsPerPage; w++ {
 		mask := uint64(1) << (w % 64)
 		if bm[w/64]&mask != 0 {
@@ -519,11 +534,23 @@ func (t *FetchTracker) OnUse(page, off, bytes uint64) {
 // OnEvict drops frame page's bookkeeping: fetched-but-unused words stay
 // counted as over-fetch.
 func (t *FetchTracker) OnEvict(page uint64) {
-	delete(t.pages, page)
+	if page >= uint64(len(t.present)) || !t.present[page] {
+		return
+	}
+	t.present[page] = false
+	bm := t.bits[page*t.bmWords : (page+1)*t.bmWords]
+	for i := range bm {
+		bm[i] = 0
+	}
 }
 
 // Drain finalizes accounting at end of run; resident unfetched words stay
 // unused, matching the paper's "brought in HBM but unused" definition.
 func (t *FetchTracker) Drain() {
-	t.pages = make(map[uint64][]uint64)
+	for i := range t.bits {
+		t.bits[i] = 0
+	}
+	for i := range t.present {
+		t.present[i] = false
+	}
 }

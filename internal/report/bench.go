@@ -43,9 +43,13 @@ type BenchFile struct {
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
-// timeUnits are the machine-dependent metrics go test emits itself.
+// timeUnits are the machine-dependent metrics: the ones go test emits
+// itself, plus ns/access — the per-access cost the batch-path benches
+// report via b.ReportMetric, which is wall time like ns/op, not a model
+// output.
 var timeUnits = map[string]bool{
 	"ns/op": true, "B/op": true, "allocs/op": true, "MB/s": true,
+	"ns/access": true,
 }
 
 // ParseBench parses `go test -bench` text output. Lines that are not

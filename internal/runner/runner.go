@@ -166,18 +166,28 @@ func MapTimeout[I, O any](workers int, timeout time.Duration, items []I, fn func
 		}
 		out[i] = v
 	}
-	runCell := func(i int) {
+	type result struct {
+		v   O
+		err error
+	}
+	// Per-worker deadline state, reused across the worker's cells so the
+	// inner loop does not allocate a channel, context or timer per cell.
+	// The channel is buffered so an abandoned (timed-out) cell's eventual
+	// send never blocks; once a cell is abandoned its channel belongs to
+	// that goroutine and the worker switches to a fresh one.
+	type workerState struct {
+		ch    chan result
+		timer *time.Timer
+	}
+	runCell := func(st *workerState, i int) {
 		if timeout <= 0 {
 			runInline(i)
 			return
 		}
-		type result struct {
-			v   O
-			err error
+		if st.ch == nil {
+			st.ch = make(chan result, 1)
 		}
-		ch := make(chan result, 1) // buffered: an abandoned cell's send never blocks
-		ctx, cancel := context.WithTimeout(context.Background(), timeout)
-		defer cancel()
+		ch := st.ch
 		go func() {
 			defer func() {
 				if r := recover(); r != nil {
@@ -187,21 +197,29 @@ func MapTimeout[I, O any](workers int, timeout time.Duration, items []I, fn func
 			v, err := fn(i, items[i])
 			ch <- result{v: v, err: err}
 		}()
+		if st.timer == nil {
+			st.timer = time.NewTimer(timeout)
+		} else {
+			st.timer.Reset(timeout)
+		}
 		select {
 		case res := <-ch:
+			st.timer.Stop()
 			if res.err != nil {
 				errs[i] = &CellError{Index: i, Err: res.err}
 				return
 			}
 			out[i] = res.v
-		case <-ctx.Done():
-			errs[i] = &CellError{Index: i, Err: fmt.Errorf("timed out after %v: %w", timeout, ctx.Err())}
+		case <-st.timer.C:
+			st.ch = nil // the abandoned goroutine keeps the old channel
+			errs[i] = &CellError{Index: i, Err: fmt.Errorf("timed out after %v: %w", timeout, context.DeadlineExceeded)}
 		}
 	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			var st workerState
 			for {
 				mu.Lock()
 				i := next
@@ -210,7 +228,7 @@ func MapTimeout[I, O any](workers int, timeout time.Duration, items []I, fn func
 				if i >= len(items) {
 					return
 				}
-				runCell(i)
+				runCell(&st, i)
 			}
 		}()
 	}

@@ -99,6 +99,13 @@ type Synthetic struct {
 
 	// hotList holds the scattered hot words when ScatteredHot is set.
 	hotList []uint32
+
+	// Precomputed integer-domain sampling constants (see trace.go): same
+	// RNG stream and branches as the float originals, cheaper per draw.
+	gapGeom     geomParams
+	runGeom     geomParams
+	hotThresh   uint64
+	writeThresh uint64
 }
 
 // NewSynthetic builds a generator; the profile must validate.
@@ -107,9 +114,13 @@ func NewSynthetic(p Profile) (*Synthetic, error) {
 		return nil, err
 	}
 	s := &Synthetic{
-		p:     p,
-		r:     newRNG(p.Seed ^ hashName(p.Name)),
-		words: p.FootprintBytes / wordBytes,
+		p:           p,
+		r:           newRNG(p.Seed ^ hashName(p.Name)),
+		words:       p.FootprintBytes / wordBytes,
+		gapGeom:     makeGeom(p.AvgGap),
+		runGeom:     makeGeom(p.RunMean),
+		hotThresh:   ltThresh(p.HotProbability),
+		writeThresh: ltThresh(p.WriteFraction),
 	}
 	s.hotWords = uint64(float64(s.words) * p.HotFraction)
 	if s.hotWords == 0 {
@@ -179,8 +190,8 @@ func (s *Synthetic) Next() (Access, bool) {
 		s.rotateHotSet()
 	}
 	gap := uint32(1)
-	if s.p.AvgGap > 1 {
-		gap = uint32(s.r.geometric(s.p.AvgGap))
+	if !s.gapGeom.one {
+		gap = uint32(s.r.geometricP(s.gapGeom))
 	}
 	return Access{
 		Addr:  addr.Addr(word * wordBytes),
@@ -194,11 +205,11 @@ func (s *Synthetic) startRun() {
 	if s.p.ZipfAlpha > 0 {
 		base = s.zipfWord()
 		s.runAddr = base
-		s.runLeft = s.r.geometric(s.p.RunMean)
-		s.runWrite = s.r.float64() < s.p.WriteFraction
+		s.runLeft = s.r.geometricP(s.runGeom)
+		s.runWrite = s.r.next()>>11 < s.writeThresh
 		return
 	}
-	if s.r.float64() < s.p.HotProbability {
+	if s.r.next()>>11 < s.hotThresh {
 		if s.hotList != nil {
 			base = uint64(s.hotList[s.r.uint64n(uint64(len(s.hotList)))])
 		} else {
@@ -208,8 +219,8 @@ func (s *Synthetic) startRun() {
 		base = s.r.uint64n(s.words)
 	}
 	s.runAddr = base
-	s.runLeft = s.r.geometric(s.p.RunMean)
-	s.runWrite = s.r.float64() < s.p.WriteFraction
+	s.runLeft = s.r.geometricP(s.runGeom)
+	s.runWrite = s.r.next()>>11 < s.writeThresh
 }
 
 // zipfWord samples a word index with a ~1/rank^alpha distribution by
@@ -235,6 +246,15 @@ func (s *Synthetic) zipfWord() uint64 {
 	}
 	// Scatter ranks over the footprint deterministically.
 	return (rank * 0x9E3779B1) % s.words
+}
+
+// NextBatch implements BatchStream; the stream never ends, so the batch
+// is always full.
+func (s *Synthetic) NextBatch(dst []Access) int {
+	for i := range dst {
+		dst[i], _ = s.Next()
+	}
+	return len(dst)
 }
 
 // rotateHotSet drifts the hot set to new locations, modelling the

@@ -8,6 +8,8 @@
 package trace
 
 import (
+	"math"
+
 	"repro/internal/addr"
 )
 
@@ -24,6 +26,33 @@ type Stream interface {
 	Next() (Access, bool)
 }
 
+// BatchStream is a Stream that can also fill a caller-provided slice in
+// one call, amortizing the per-access interface dispatch on the hot path.
+// NextBatch returns the number of accesses written (0 when exhausted) and
+// yields exactly the same sequence as repeated Next calls.
+type BatchStream interface {
+	Stream
+	NextBatch(dst []Access) int
+}
+
+// FillBatch fills dst from s, using the batch path when s supports it.
+// It returns the number of accesses written; 0 means the stream ended.
+func FillBatch(s Stream, dst []Access) int {
+	if bs, ok := s.(BatchStream); ok {
+		return bs.NextBatch(dst)
+	}
+	n := 0
+	for n < len(dst) {
+		a, ok := s.Next()
+		if !ok {
+			break
+		}
+		dst[n] = a
+		n++
+	}
+	return n
+}
+
 // Limit wraps a stream and cuts it off after n accesses.
 type Limit struct {
 	S Stream
@@ -37,6 +66,16 @@ func (l *Limit) Next() (Access, bool) {
 	}
 	l.N--
 	return l.S.Next()
+}
+
+// NextBatch implements BatchStream.
+func (l *Limit) NextBatch(dst []Access) int {
+	if uint64(len(dst)) > l.N {
+		dst = dst[:l.N]
+	}
+	n := FillBatch(l.S, dst)
+	l.N -= uint64(n)
+	return n
 }
 
 // Offset shifts every address of a stream by a fixed delta — the
@@ -57,6 +96,15 @@ func (o *Offset) Next() (Access, bool) {
 	return a, true
 }
 
+// NextBatch implements BatchStream.
+func (o *Offset) NextBatch(dst []Access) int {
+	n := FillBatch(o.S, dst)
+	for i := 0; i < n; i++ {
+		dst[i].Addr += o.Delta
+	}
+	return n
+}
+
 // Concat replays streams back to back, which models distinct program
 // phases (used by the adaptive-ratio example).
 type Concat struct {
@@ -74,6 +122,17 @@ func (c *Concat) Next() (Access, bool) {
 		c.idx++
 	}
 	return Access{}, false
+}
+
+// NextBatch implements BatchStream.
+func (c *Concat) NextBatch(dst []Access) int {
+	for c.idx < len(c.Streams) {
+		if n := FillBatch(c.Streams[c.idx], dst); n > 0 {
+			return n
+		}
+		c.idx++
+	}
+	return 0
 }
 
 // rng is a deterministic xorshift64* generator. The simulator must be
@@ -108,15 +167,50 @@ func (r *rng) float64() float64 {
 	return float64(r.next()>>11) / (1 << 53)
 }
 
-// geometric returns a sample >= 1 with the given mean (mean >= 1).
-func (r *rng) geometric(mean float64) uint64 {
+// The comparisons the generators make against float64() can be evaluated
+// exactly in the integer domain: float64() is float64(x)/2^53 for the
+// 53-bit draw x, the division is exact (exponent scaling), and so is
+// multiplying the probability by 2^53. That turns the per-draw
+// int->float conversion and float compare into one integer compare while
+// consuming the identical RNG stream and taking the identical branches.
+
+// ltThresh returns t such that r.float64() < q  <=>  r.next()>>11 < t.
+// For integer q*2^53, x < q*2^53 directly; otherwise x < q*2^53 iff
+// x <= floor(q*2^53) iff x < ceil(q*2^53). Ceil covers both cases.
+func ltThresh(q float64) uint64 {
+	return uint64(math.Ceil(q * (1 << 53)))
+}
+
+// geomParams precomputes the loop constants of geometric(mean).
+type geomParams struct {
+	one    bool   // mean <= 1: always 1, no RNG draw
+	thresh uint64 // continue while next()>>11 > thresh
+	max    uint64 // iteration cap, uint64(mean*16)
+}
+
+func makeGeom(mean float64) geomParams {
 	if mean <= 1 {
+		return geomParams{one: true}
+	}
+	// float64(x)/2^53 > p  <=>  float64(x) > p*2^53  <=>  x > floor(p*2^53)
+	// (x is an exact integer in float64; truncation is floor for p >= 0).
+	return geomParams{thresh: uint64((1 / mean) * (1 << 53)), max: uint64(mean * 16)}
+}
+
+// geometricP is geometric(mean) with precomputed parameters: same draws,
+// same branches, no float math in the loop.
+func (r *rng) geometricP(g geomParams) uint64 {
+	if g.one {
 		return 1
 	}
-	p := 1 / mean
 	n := uint64(1)
-	for r.float64() > p && n < uint64(mean*16) {
+	for r.next()>>11 > g.thresh && n < g.max {
 		n++
 	}
 	return n
+}
+
+// geometric returns a sample >= 1 with the given mean (mean >= 1).
+func (r *rng) geometric(mean float64) uint64 {
+	return r.geometricP(makeGeom(mean))
 }
