@@ -3,6 +3,7 @@
 //
 //	bbreport report runs/a runs/b        # joined Markdown report + anomaly flags
 //	bbreport verify runs/a               # re-hash outputs against manifest.json
+//	bbreport merge -o merged shard1 shard2 shard3   # verified shard merge
 //	bbreport bench -parse bench.txt -o BENCH_bumblebee.json
 //	bbreport bench -compare new.json -against BENCH_bumblebee.json
 //
@@ -19,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/report"
 )
@@ -28,7 +30,7 @@ func main() {
 }
 
 func usage(stderr io.Writer) int {
-	fmt.Fprintln(stderr, "usage: bbreport report|verify|bench [flags] [args]")
+	fmt.Fprintln(stderr, "usage: bbreport report|verify|merge|bench [flags] [args]")
 	return 2
 }
 
@@ -42,6 +44,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runReport(args[1:], stdout, stderr)
 	case "verify":
 		return runVerify(args[1:], stdout, stderr)
+	case "merge":
+		return runMerge(args[1:], stdout, stderr)
 	case "bench":
 		return runBench(args[1:], stdout, stderr)
 	default:
@@ -124,6 +128,35 @@ func runVerify(args []string, stdout, stderr io.Writer) int {
 	if bad > 0 {
 		return 1
 	}
+	return 0
+}
+
+// runMerge joins -shard k/n run directories back into the directory the
+// unsharded sweep would have written, refusing on any verification
+// failure (tampered shard, duplicate or missing shard index, mismatched
+// sweep identity). See report.Merge for the reconstruction contract.
+func runMerge(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("merge", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("o", "", "write the merged run directory here (required)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *out == "" {
+		fmt.Fprintln(stderr, "bbreport merge: need -o <merged-dir>")
+		return 2
+	}
+	if fs.NArg() < 2 {
+		fmt.Fprintln(stderr, "bbreport merge: need at least two shard directories")
+		return 2
+	}
+	res, err := report.Merge(*out, fs.Args())
+	if err != nil {
+		fmt.Fprintf(stderr, "bbreport merge: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "%s: merged %d shards, %d rows across %d files (%s)\n",
+		*out, res.Shards, res.Rows, len(res.Files), strings.Join(res.Files, ", "))
 	return 0
 }
 

@@ -17,6 +17,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -26,10 +27,12 @@ import (
 	"time"
 
 	"repro/internal/check"
+	"repro/internal/ckpt"
 	"repro/internal/harness"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/report"
+	"repro/internal/runner"
 )
 
 // metricsTable wraps a table pointer for the CSV panel map.
@@ -74,6 +77,8 @@ func main() {
 		csvDir     = flag.String("csv", "", "also write raw results as CSV (plus manifest.json/session.json) into this directory")
 		plot       = flag.Bool("plot", false, "render figure panels as ASCII bar charts")
 		faults     = flag.String("faults", "0,2,10,50", "comma-separated frame-failure rates (per million HBM accesses) for the figfault sweep")
+		resume     = flag.String("resume", "", "resume an interrupted run from this directory's checkpoint journal (implies -csv DIR)")
+		shardSpec  = flag.String("shard", "", "run only shard k/n of the sweep, e.g. 2/3 (fig8 only); rejoin with 'bbreport merge'")
 	)
 	var of obs.Flags
 	of.RegisterAll(flag.CommandLine)
@@ -86,6 +91,7 @@ func main() {
 	h.CellTimeout = of.CellTimeout
 	h.TelemetryEpoch = of.TelemetryEpoch
 	h.TraceDepth = of.TraceDepth
+	h.Retry = of.RetryPolicy()
 	if err := of.Validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "bbrepro: %v\n", err)
 		os.Exit(2)
@@ -94,11 +100,45 @@ func main() {
 		h.Log = obs.NewRunLogger(os.Stderr)
 	}
 
+	if *resume != "" {
+		if *csvDir != "" && *csvDir != *resume {
+			fmt.Fprintf(os.Stderr, "bbrepro: -resume %s conflicts with -csv %s (resume implies the CSV directory)\n", *resume, *csvDir)
+			os.Exit(2)
+		}
+		*csvDir = *resume
+	}
+	if *shardSpec != "" {
+		shd, err := runner.ParseShard(*shardSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bbrepro: -shard: %v\n", err)
+			os.Exit(2)
+		}
+		// Only fig8 partitions cleanly: its per-run rows are independent
+		// of each other, while every other experiment aggregates or
+		// normalizes across the full matrix.
+		if *experiment != "fig8" {
+			fmt.Fprintf(os.Stderr, "bbrepro: -shard supports only -experiment fig8 (other sweeps aggregate across the full matrix)\n")
+			os.Exit(2)
+		}
+		h.Shard = shd
+	}
+
 	// The sweep tracker feeds /metrics; it is live even without an HTTP
 	// endpoint so that attaching one costs nothing but the flag.
 	sweep := obs.NewSweep(*experiment)
 	h.Obs = sweep
-	srv, err := of.StartServer(context.Background(), sweep, obs.NewRunLogger(os.Stderr))
+	stderrLog := obs.NewRunLogger(os.Stderr)
+	var srv *obs.Server
+	var err error
+	if *csvDir != "" {
+		// Checkpointed runs own their signal lifecycle: the first
+		// SIGINT/SIGTERM drains in-flight cells so they reach the journal,
+		// then main flushes a partial manifest and exits resumable.
+		h.Interrupt = obs.DrainOnSignal(stderrLog)
+		srv, err = of.StartServerManaged(sweep, stderrLog)
+	} else {
+		srv, err = of.StartServer(context.Background(), sweep, stderrLog)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bbrepro: %v\n", err)
 		os.Exit(2)
@@ -120,11 +160,24 @@ func main() {
 		}
 	}
 
+	// An interrupted sweep is not a failure: completed cells are in the
+	// journal, so main falls through to flush the partial manifest and
+	// exits with the distinct resumable status. Later experiments in an
+	// "all" run are skipped — the drain request covers them too.
+	interrupted := false
 	run := func(name string, fn func() error) {
 		if *experiment != "all" && *experiment != name {
 			return
 		}
+		if interrupted {
+			return
+		}
 		if err := fn(); err != nil {
+			if errors.Is(err, runner.ErrInterrupted) {
+				fmt.Fprintf(os.Stderr, "bbrepro: %s: interrupted; resume with: bbrepro -experiment %s -resume %s\n", name, *experiment, *csvDir)
+				interrupted = true
+				return
+			}
 			fmt.Fprintf(os.Stderr, "bbrepro: %s: %v\n", name, err)
 			os.Exit(1)
 		}
@@ -142,7 +195,11 @@ func main() {
 	// With -csv, every file the run writes is hashed into manifest.json.
 	// The manifest records only deterministic facts, so it diffs clean
 	// across -parallel settings; session.json takes the volatile rest.
+	// The checkpoint journal lives in the same directory but is NOT a
+	// manifest output: attempt counts legitimately differ between an
+	// interrupted-and-resumed run and a clean one.
 	var man *report.Manifest
+	var jn *ckpt.Journal
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "bbrepro: %v\n", err)
@@ -150,6 +207,31 @@ func main() {
 		}
 		man = report.New("bbrepro", *experiment, *scale, *accesses, of.TelemetryEpoch)
 		man.Flags = map[string]string{"faults": *faults}
+		if *shardSpec != "" {
+			man.Flags["shard"] = *shardSpec
+		}
+		meta := ckpt.Meta{Tool: "bbrepro", Experiment: *experiment, Scale: *scale,
+			Accesses: *accesses, TelemetryEpoch: of.TelemetryEpoch, Shard: *shardSpec}
+		if *resume != "" {
+			var loaded *ckpt.Loaded
+			jn, loaded, err = ckpt.Resume(*csvDir, meta)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bbrepro: -resume: %v\n", err)
+				os.Exit(1)
+			}
+			if loaded == nil {
+				fmt.Fprintf(os.Stderr, "bbrepro: -resume: no checkpoint journal in %s; starting fresh\n", *csvDir)
+			} else {
+				if loaded.Warning != "" {
+					fmt.Fprintf(os.Stderr, "bbrepro: -resume: %s\n", loaded.Warning)
+				}
+				fmt.Fprintf(os.Stderr, "bbrepro: resuming %s: %d checkpointed cells will replay\n", *csvDir, len(loaded.Records))
+			}
+		} else if jn, err = ckpt.Create(*csvDir, meta); err != nil {
+			fmt.Fprintf(os.Stderr, "bbrepro: %v\n", err)
+			os.Exit(1)
+		}
+		h.Journal = jn
 	}
 	record := func(name, kind string) error {
 		if man == nil {
@@ -223,15 +305,22 @@ func main() {
 		if err != nil {
 			return err
 		}
-		fmt.Println(res.IPC.String())
-		fmt.Println(res.HBM.String())
-		fmt.Println(res.DRAM.String())
-		fmt.Println(res.Energy.String())
-		fmt.Println(res.Summary())
-		if *plot {
-			fmt.Println(res.IPC.TableBars("All", 40))
-			fmt.Println(res.HBM.TableBars("All", 40))
-			fmt.Println(res.Energy.TableBars("All", 40))
+		if res.IPC == nil {
+			// Shard mode: only the owned per-run rows exist; the group
+			// tables need the full matrix and are built after the merge.
+			fmt.Printf("fig8 shard %s: %d runs (rejoin with 'bbreport merge' for the group tables)\n",
+				*shardSpec, len(res.PerRun))
+		} else {
+			fmt.Println(res.IPC.String())
+			fmt.Println(res.HBM.String())
+			fmt.Println(res.DRAM.String())
+			fmt.Println(res.Energy.String())
+			fmt.Println(res.Summary())
+			if *plot {
+				fmt.Println(res.IPC.TableBars("All", 40))
+				fmt.Println(res.HBM.TableBars("All", 40))
+				fmt.Println(res.Energy.TableBars("All", 40))
+			}
 		}
 		if of.TraceOut != "" {
 			if err := writeCSV(of.TraceOut, func(w *os.File) error {
@@ -267,20 +356,22 @@ func main() {
 					return err
 				}
 			}
-			panels := map[string]*metricsTable{
-				"fig8a_ipc.csv":    {res.IPC},
-				"fig8b_hbm.csv":    {res.HBM},
-				"fig8c_dram.csv":   {res.DRAM},
-				"fig8d_energy.csv": {res.Energy},
-			}
-			for name, p := range panels {
-				if err := writeCSV(*csvDir+"/"+name, func(w *os.File) error {
-					return harness.WriteTableCSV(w, p.t)
-				}); err != nil {
-					return err
+			if res.IPC != nil { // shard mode stops at the mergeable per-run outputs
+				panels := map[string]*metricsTable{
+					"fig8a_ipc.csv":    {res.IPC},
+					"fig8b_hbm.csv":    {res.HBM},
+					"fig8c_dram.csv":   {res.DRAM},
+					"fig8d_energy.csv": {res.Energy},
 				}
-				if err := record(name, "table"); err != nil {
-					return err
+				for name, p := range panels {
+					if err := writeCSV(*csvDir+"/"+name, func(w *os.File) error {
+						return harness.WriteTableCSV(w, p.t)
+					}); err != nil {
+						return err
+					}
+					if err := record(name, "table"); err != nil {
+						return err
+					}
 				}
 			}
 		}
@@ -357,6 +448,15 @@ func main() {
 		return nil
 	})
 
+	// Flush everything even after an interrupt: the journal's tail, a
+	// partial manifest (outputs of the experiments that completed) and the
+	// session record make the directory a self-describing resume point.
+	if jn != nil {
+		if err := jn.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "bbrepro: checkpoint journal: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if man != nil {
 		if err := man.Write(*csvDir); err != nil {
 			fmt.Fprintf(os.Stderr, "bbrepro: %v\n", err)
@@ -378,5 +478,8 @@ func main() {
 		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 		_ = srv.Shutdown(ctx)
 		cancel()
+	}
+	if interrupted {
+		os.Exit(ckpt.ExitResumable)
 	}
 }

@@ -193,8 +193,14 @@ func benchTable(args []string) {
 	of.RegisterSweep(fs)
 	fs.Parse(args)
 	// One profile per cell; each cell owns its generator, so the table is
-	// identical at any -parallel setting.
-	chars, err := runner.MapTimeout(of.Parallel, of.CellTimeout, trace.TableII(),
+	// identical at any -parallel setting. The sweep honours the shared
+	// retry flags: transient failures (timeouts) retry with backoff.
+	pol := runner.Policy{
+		Timeout: of.CellTimeout,
+		Retry:   of.RetryPolicy(),
+		Seed:    runner.Seed("bbtrace", "bench"),
+	}
+	chars, err := runner.MapPolicy(of.Parallel, pol, trace.TableII(),
 		func(_ int, b trace.Benchmark) (trace.Characteristics, error) {
 			gen, err := trace.NewSynthetic(b.Scale(*scale).Profile)
 			if err != nil {

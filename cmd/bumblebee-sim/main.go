@@ -15,6 +15,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -23,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/ckpt"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/cpu"
@@ -62,6 +64,8 @@ func main() {
 		pageKB    = flag.Uint64("page", 64, "Bumblebee page size in KB")
 		inspect   = flag.Int("inspect", -1, "dump this remapping set's state after the run (Bumblebee only)")
 		faultRate = flag.Float64("faults", 0, "RAS frame-failure rate per million HBM accesses (0 disables fault injection)")
+		ckptDir   = flag.String("checkpoint", "", "journal completed matrix cells into this directory (matrix mode only)")
+		resumeDir = flag.String("resume", "", "resume an interrupted matrix run from this directory's checkpoint journal (implies -checkpoint DIR)")
 	)
 	var of obs.Flags
 	of.RegisterAll(flag.CommandLine)
@@ -74,12 +78,29 @@ func main() {
 	h.CellTimeout = of.CellTimeout
 	h.TelemetryEpoch = of.TelemetryEpoch
 	h.TraceDepth = of.TraceDepth
+	h.Retry = of.RetryPolicy()
 	if err := of.Validate(); err != nil {
 		log.Fatalf("bumblebee-sim: %v", err)
 	}
+	if *resumeDir != "" {
+		if *ckptDir != "" && *ckptDir != *resumeDir {
+			log.Fatalf("bumblebee-sim: -resume %s conflicts with -checkpoint %s", *resumeDir, *ckptDir)
+		}
+		*ckptDir = *resumeDir
+	}
 	sweep := obs.NewSweep("sim")
 	h.Obs = sweep
-	srv, err := of.StartServer(context.Background(), sweep, obs.NewRunLogger(os.Stderr))
+	stderrLog := obs.NewRunLogger(os.Stderr)
+	var srv *obs.Server
+	var err error
+	if *ckptDir != "" {
+		// Checkpointed runs drain on the first signal so in-flight cells
+		// reach the journal; see bbrepro for the same lifecycle.
+		h.Interrupt = obs.DrainOnSignal(stderrLog)
+		srv, err = of.StartServerManaged(sweep, stderrLog)
+	} else {
+		srv, err = of.StartServer(context.Background(), sweep, stderrLog)
+	}
 	if err != nil {
 		log.Fatalf("bumblebee-sim: %v", err)
 	}
@@ -104,8 +125,49 @@ func main() {
 		if *inspect >= 0 {
 			log.Fatal("bumblebee-sim: -inspect needs a single design and benchmark")
 		}
-		runMatrix(h, sys, designs, benches, of.TraceOut)
+		if *ckptDir != "" {
+			if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+				log.Fatalf("bumblebee-sim: %v", err)
+			}
+			meta := ckpt.Meta{Tool: "bumblebee-sim", Experiment: "matrix",
+				Scale: *scale, Accesses: *accesses, TelemetryEpoch: of.TelemetryEpoch}
+			var jn *ckpt.Journal
+			if *resumeDir != "" {
+				var loaded *ckpt.Loaded
+				jn, loaded, err = ckpt.Resume(*ckptDir, meta)
+				if err != nil {
+					log.Fatalf("bumblebee-sim: -resume: %v", err)
+				}
+				if loaded != nil {
+					if loaded.Warning != "" {
+						fmt.Fprintf(os.Stderr, "bumblebee-sim: -resume: %s\n", loaded.Warning)
+					}
+					fmt.Fprintf(os.Stderr, "bumblebee-sim: resuming %s: %d checkpointed cells will replay\n",
+						*ckptDir, len(loaded.Records))
+				}
+			} else if jn, err = ckpt.Create(*ckptDir, meta); err != nil {
+				log.Fatalf("bumblebee-sim: %v", err)
+			}
+			h.Journal = jn
+		}
+		interrupted := runMatrix(h, sys, designs, benches, of.TraceOut, *ckptDir)
+		if h.Journal != nil {
+			if err := h.Journal.Close(); err != nil {
+				log.Fatalf("bumblebee-sim: checkpoint journal: %v", err)
+			}
+		}
+		if interrupted {
+			if srv != nil {
+				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+				_ = srv.Shutdown(ctx)
+				cancel()
+			}
+			os.Exit(ckpt.ExitResumable)
+		}
 		return
+	}
+	if *ckptDir != "" {
+		log.Fatal("bumblebee-sim: -checkpoint/-resume need matrix mode (comma-separated -design/-bench lists)")
 	}
 
 	mem, err := harness.Build(config.Design(*design), sys)
@@ -264,21 +326,15 @@ func main() {
 // runMatrix fans a (design × benchmark) matrix out across the harness
 // worker pool and prints one compact row per run, in matrix order. With
 // telemetry enabled and traceOut set, all runs land in one Chrome trace.
-func runMatrix(h *harness.Harness, sys config.System, designs, benches []string, traceOut string) {
-	rows, err := runner.MatrixTimeout(h.Parallel, h.CellTimeout, designs, benches,
-		func(d, bench string) (harness.RunResult, error) {
-			b, err := trace.ByName(bench)
-			if err != nil {
-				return harness.RunResult{}, fmt.Errorf("unknown benchmark %q (known: %s)",
-					bench, strings.Join(trace.Names(), ", "))
-			}
-			mem, err := harness.Build(config.Design(d), sys)
-			if err != nil {
-				return harness.RunResult{}, err
-			}
-			return h.Run(sys, mem, b.Scale(h.Scale))
-		})
+// It reports whether the sweep was interrupted (drained, checkpointed,
+// resumable) rather than completed.
+func runMatrix(h *harness.Harness, sys config.System, designs, benches []string, traceOut, ckptDir string) bool {
+	rows, err := h.Matrix(sys, designs, benches)
 	if err != nil {
+		if errors.Is(err, runner.ErrInterrupted) && ckptDir != "" {
+			fmt.Fprintf(os.Stderr, "bumblebee-sim: interrupted; resume with: bumblebee-sim -resume %s (plus the same -design/-bench flags)\n", ckptDir)
+			return true
+		}
 		log.Fatalf("bumblebee-sim: %v", err)
 	}
 	fmt.Printf("%-11s %-11s %8s %8s %10s %8s %10s %10s\n",
@@ -300,4 +356,5 @@ func runMatrix(h *harness.Harness, sys config.System, designs, benches []string,
 		}
 		fmt.Printf("trace written to %s\n", traceOut)
 	}
+	return false
 }

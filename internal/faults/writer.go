@@ -1,0 +1,49 @@
+package faults
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrInjectedWrite is the error a FailingWriter returns once its budget
+// is spent. Tests match it with errors.Is through whatever wrapping the
+// writer's caller adds.
+var ErrInjectedWrite = errors.New("faults: injected write failure")
+
+// FailingWriter wraps an io.Writer and fails deterministically once a
+// byte budget is exhausted — the I/O analogue of the injector above, for
+// exercising the error paths of the checkpoint journal and CSV writers.
+// Partial writes are modeled faithfully: the write that crosses the
+// budget delivers the bytes that fit, then reports the error, exactly
+// like a disk filling up mid-record.
+type FailingWriter struct {
+	W io.Writer
+	// FailAt is the byte offset at which writes start failing. 0 fails
+	// the first write; a negative value never fails.
+	FailAt int
+	// Err overrides the returned error; nil means ErrInjectedWrite.
+	Err error
+
+	written int
+}
+
+func (fw *FailingWriter) Write(p []byte) (int, error) {
+	if fw.FailAt < 0 || fw.written+len(p) <= fw.FailAt {
+		n, err := fw.W.Write(p)
+		fw.written += n
+		return n, err
+	}
+	fit := fw.FailAt - fw.written
+	if fit < 0 {
+		fit = 0
+	}
+	n, err := fw.W.Write(p[:fit])
+	fw.written += n
+	if err != nil {
+		return n, err
+	}
+	if fw.Err != nil {
+		return n, fw.Err
+	}
+	return n, ErrInjectedWrite
+}

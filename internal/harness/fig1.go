@@ -121,9 +121,13 @@ func (h *Harness) Fig1() ([]Fig1Result, error) {
 	sys := h.System()
 	// Fig1 cells run a bespoke cache model, not Harness.Run, so they
 	// report their own completions to the sweep tracker.
-	h.Obs.AddPlanned(len(Fig1Benchmarks) * len(Fig1LineSizes))
-	rows, err := runner.MatrixTimeout(h.workers(), h.CellTimeout, Fig1Benchmarks, Fig1LineSizes,
-		func(name string, ls uint64) (Fig1Result, error) {
+	rows, err := sweepGrid(h, Fig1Benchmarks, Fig1LineSizes, 1,
+		func(ni, li int) cell {
+			name, label := Fig1Benchmarks[ni], sizeLabel(Fig1LineSizes[li])
+			return cell{ID: cellID("fig1", name, label), Seed: runner.Seed("fig1", name, label)}
+		},
+		func(ni, li int) (Fig1Result, error) {
+			name, ls := Fig1Benchmarks[ni], Fig1LineSizes[li]
 			b, err := trace.ByName(name)
 			if err != nil {
 				return Fig1Result{}, err

@@ -8,7 +8,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/runner"
-	"repro/internal/trace"
 )
 
 // Figure 6: the block-size/page-size design-space sweep. The paper sweeps
@@ -54,9 +53,13 @@ func (h *Harness) Fig6() ([]Fig6Result, error) {
 		return nil, err
 	}
 	cfgs := Fig6Configs()
-	h.Obs.AddPlanned(len(cfgs) * len(bs))
-	speedups, err := runner.MatrixTimeout(h.workers(), h.CellTimeout, cfgs, bs,
-		func(cfg Fig6Config, b trace.Benchmark) (float64, error) {
+	speedups, err := sweepGrid(h, cfgs, bs, 1,
+		func(ci, bi int) cell {
+			cfg, b := cfgs[ci], bs[bi].Profile.Name
+			return cell{ID: cellID("fig6", cfg.Label(), b), Seed: runner.Seed(string(config.DesignBumblebee), b)}
+		},
+		func(ci, bi int) (float64, error) {
+			cfg, b := cfgs[ci], bs[bi]
 			sys := h.System()
 			sys.BlockBytes = cfg.BlockKB * addr.KiB
 			sys.PageBytes = cfg.PageKB * addr.KiB

@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/runner"
-	"repro/internal/trace"
 )
 
 // Figure 7: the performance-factor breakdown. Ten Bumblebee variants
@@ -28,9 +27,13 @@ func (h *Harness) Fig7() ([]Fig7Result, error) {
 		return nil, err
 	}
 	vs := Fig7Variants()
-	h.Obs.AddPlanned(len(vs) * len(bs))
-	speedups, err := runner.MatrixTimeout(h.workers(), h.CellTimeout, vs, bs,
-		func(v Variant, b trace.Benchmark) (float64, error) {
+	speedups, err := sweepGrid(h, vs, bs, 1,
+		func(vi, bi int) cell {
+			v, b := vs[vi], bs[bi].Profile.Name
+			return cell{ID: cellID("fig7", v.Label, b), Seed: runner.Seed("bumblebee", b)}
+		},
+		func(vi, bi int) (float64, error) {
+			v, b := vs[vi], bs[bi]
 			sys := h.System()
 			v.Apply(&sys)
 			mem, err := Build("bumblebee", sys)

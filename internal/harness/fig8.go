@@ -44,9 +44,50 @@ type Fig8Result struct {
 	PerRun []RunResult // every (design, bench) run for drill-down
 }
 
+// fig8Runs sweeps the design × benchmark matrix under the harness
+// policy (checkpoint, retry, shard) and returns the raw per-cell runs.
+func (h *Harness) fig8Runs(bs []trace.Benchmark) ([][]RunResult, error) {
+	return sweepGrid(h, Fig8Designs, bs, 1,
+		func(di, bi int) cell {
+			d, b := Fig8Designs[di], bs[bi].Profile.Name
+			return cell{ID: cellID("fig8", string(d), b), Seed: runner.Seed(string(d), b)}
+		},
+		func(di, bi int) (RunResult, error) {
+			d, b := Fig8Designs[di], bs[bi]
+			r, err := h.RunDesign(d, b)
+			if err != nil {
+				return RunResult{}, fmt.Errorf("fig8 %s/%s: %w", d, b.Profile.Name, err)
+			}
+			h.log("fig8", "design", string(d), "bench", b.Profile.Name,
+				"ipc", r.CPU.IPC(), "hbm_bytes", r.HBMBytes, "dram_bytes", r.DRAMBytes)
+			return r, nil
+		})
+}
+
 // Fig8 reproduces the headline comparison.
+//
+// In shard mode (Shard.Active) only the per-run rows this shard owns are
+// produced and the group tables stay nil: the tables need the full
+// matrix plus the no-HBM baseline, so they are built after `bbreport
+// merge` reassembles the shards — per-run rows are baseline-independent,
+// which is what makes the partition clean.
 func (h *Harness) Fig8() (*Fig8Result, error) {
 	bs := h.Benchmarks()
+	if h.Shard.Active() {
+		runs, err := h.fig8Runs(bs)
+		if err != nil {
+			return nil, err
+		}
+		res := &Fig8Result{}
+		for di := range Fig8Designs {
+			for bi := range bs {
+				if h.Shard.Owns(di*len(bs) + bi) {
+					res.PerRun = append(res.PerRun, runs[di][bi])
+				}
+			}
+		}
+		return res, nil
+	}
 	base, err := h.runBaseline(bs)
 	if err != nil {
 		return nil, err
@@ -57,20 +98,7 @@ func (h *Harness) Fig8() (*Fig8Result, error) {
 		DRAM:   &metrics.Table{Title: "Figure 8(c): normalized off-chip DRAM traffic", Columns: Fig8Groups},
 		Energy: &metrics.Table{Title: "Figure 8(d): normalized memory dynamic energy", Columns: Fig8Groups},
 	}
-	h.Obs.AddPlanned(len(Fig8Designs) * len(bs))
-	runs, err := runner.MatrixTimeout(h.workers(), h.CellTimeout, Fig8Designs, bs,
-		func(d config.Design, b trace.Benchmark) (RunResult, error) {
-			r, err := h.RunDesign(d, b)
-			if err != nil {
-				return RunResult{}, fmt.Errorf("fig8 %s/%s: %w", d, b.Profile.Name, err)
-			}
-			h.log("fig8", "design", string(d), "bench", b.Profile.Name,
-				"ipc_norm", r.CPU.IPC()/base.ipc[b.Profile.Name],
-				"hbm_norm", float64(r.HBMBytes)/float64(base.bytes[b.Profile.Name]),
-				"dram_norm", float64(r.DRAMBytes)/float64(base.bytes[b.Profile.Name]),
-				"energy_norm", r.Energy.TotalPJ()/base.pj[b.Profile.Name])
-			return r, nil
-		})
+	runs, err := h.fig8Runs(bs)
 	if err != nil {
 		return nil, err
 	}

@@ -9,7 +9,6 @@ import (
 	"repro/internal/config"
 	"repro/internal/metrics"
 	"repro/internal/runner"
-	"repro/internal/trace"
 )
 
 // The fault sweep (no paper figure — the robustness extension): every
@@ -84,6 +83,9 @@ func (h *Harness) FigFaultWith(designs []config.Design, rates []float64) (*FigFa
 	if len(rates) == 0 {
 		return nil, fmt.Errorf("figfault: no rates")
 	}
+	if h.Shard.Active() {
+		return nil, fmt.Errorf("figfault: sharding unsupported (each row normalizes against the design's fault-free run, which another shard may own); use -shard with fig8")
+	}
 	bs := h.Benchmarks()
 	cells := make([]figFaultCell, 0, len(designs)*len(rates))
 	for _, d := range designs {
@@ -91,9 +93,14 @@ func (h *Harness) FigFaultWith(designs []config.Design, rates []float64) (*FigFa
 			cells = append(cells, figFaultCell{design: d, rate: r})
 		}
 	}
-	h.Obs.AddPlanned(len(cells) * len(bs))
-	runs, err := runner.MatrixTimeout(h.workers(), h.CellTimeout, cells, bs,
-		func(c figFaultCell, b trace.Benchmark) (RunResult, error) {
+	runs, err := sweepGrid(h, cells, bs, 1,
+		func(ci, bi int) cell {
+			c, b := cells[ci], bs[bi].Profile.Name
+			label := fmt.Sprintf("%s@%s", c.design, strconv.FormatFloat(c.rate, 'g', -1, 64))
+			return cell{ID: cellID("figfault", label, b), Seed: runner.Seed(string(c.design), b)}
+		},
+		func(ci, bi int) (RunResult, error) {
+			c, b := cells[ci], bs[bi]
 			sys := h.System()
 			sys.Faults = FaultsAtRate(c.rate)
 			mem, err := Build(c.design, sys)

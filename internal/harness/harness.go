@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/ckpt"
 	"repro/internal/config"
 	"repro/internal/cpu"
 	"repro/internal/energy"
@@ -65,6 +66,34 @@ type Harness struct {
 	// TraceDepth is the event ring capacity per run; <= 0 picks
 	// telemetry.DefaultTraceDepth. Only meaningful with TelemetryEpoch > 0.
 	TraceDepth int
+
+	// Retry is the per-cell retry budget for transient failures —
+	// timeouts and errors marked runner.Transient. Permanent failures
+	// (model invariant violations) never retry: re-running a
+	// deterministic cell can only reproduce them. The zero value
+	// disables retries.
+	Retry runner.Retry
+
+	// Interrupt, when closed, drains every sweep gracefully: in-flight
+	// cells finish (and checkpoint), unstarted cells never run, and the
+	// sweep returns an error matching runner.ErrInterrupted so callers
+	// can exit with the resumable status instead of failing.
+	Interrupt <-chan struct{}
+
+	// Journal is the checkpoint journal (see internal/ckpt): when set,
+	// every completed cell is recorded durably and cells completed by a
+	// previous invocation are served from the journal instead of re-run.
+	// The determinism contract is what makes the substitution sound — a
+	// cell's result depends only on its identity, so replayed bytes and
+	// re-computed bytes are identical.
+	Journal *ckpt.Journal
+
+	// Shard restricts sweeps to the cells this process owns (see
+	// runner.Shard); the zero value owns everything. Shards partition
+	// the flattened cell index space, so N shard runs cover each sweep
+	// exactly once and `bbreport merge` can reassemble the unsharded
+	// cell order.
+	Shard runner.Shard
 }
 
 // accBufPool holds trace ingestion buffers (see cpu.WithAccessBuffer),
@@ -246,8 +275,19 @@ type baseline struct {
 }
 
 func (h *Harness) runBaseline(bs []trace.Benchmark) (*baseline, error) {
-	h.Obs.AddPlanned(len(bs))
-	runs, err := runner.MapTimeout(h.workers(), h.CellTimeout, bs, func(_ int, b trace.Benchmark) (RunResult, error) {
+	cells := make([]cell, len(bs))
+	for i, b := range bs {
+		cells[i] = cell{
+			ID:   cellID("baseline", string(config.DesignNoHBM), b.Profile.Name),
+			Seed: runner.Seed(string(config.DesignNoHBM), b.Profile.Name),
+		}
+	}
+	// The baseline is normalization input for every design's rows, so it
+	// always runs in full — sharding partitions only the design matrix.
+	hb := *h
+	hb.Shard = runner.Shard{}
+	runs, err := sweepCells(&hb, cells, 1, func(i int) (RunResult, error) {
+		b := bs[i]
 		r, err := h.RunDesign(config.DesignNoHBM, b)
 		if err != nil {
 			return RunResult{}, fmt.Errorf("baseline %s: %w", b.Profile.Name, err)

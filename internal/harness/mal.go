@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/runner"
-	"repro/internal/trace"
 )
 
 // Section II-B measures the metadata access latency (MAL) of designs
@@ -27,8 +26,16 @@ type MALResult struct {
 // benchmark. Each cell runs its benchmark twice (metadata in SRAM, then in
 // HBM) on the same deterministic stream; cells fan out across the pool.
 func (h *Harness) MAL() ([]MALResult, error) {
-	h.Obs.AddPlanned(2 * len(h.Benchmarks())) // each cell runs SRAM- and HBM-metadata
-	return runner.MapTimeout(h.workers(), h.CellTimeout, h.Benchmarks(), func(_ int, b trace.Benchmark) (MALResult, error) {
+	bs := h.Benchmarks()
+	cells := make([]cell, len(bs))
+	for i, b := range bs {
+		cells[i] = cell{
+			ID:   cellID("mal", b.Profile.Name),
+			Seed: runner.Seed(string(config.DesignBumblebee), b.Profile.Name),
+		}
+	}
+	return sweepCells(h, cells, 2, func(i int) (MALResult, error) { // each cell runs SRAM- and HBM-metadata
+		b := bs[i]
 		sram, err := h.RunDesign(config.DesignBumblebee, b)
 		if err != nil {
 			return MALResult{}, fmt.Errorf("mal %s: %w", b.Profile.Name, err)

@@ -81,8 +81,12 @@ func (h *Harness) Mix(names []string) ([]MixResult, error) {
 	}
 	// Mix cells run cpu.RunMulti directly rather than Harness.Run, so each
 	// cell reports its own completion (accesses summed over the cores).
-	h.Obs.AddPlanned(len(Fig8Designs))
-	return runner.MapTimeout(h.workers(), h.CellTimeout, Fig8Designs, func(_ int, d config.Design) (MixResult, error) {
+	cells := make([]cell, len(Fig8Designs))
+	for i, d := range Fig8Designs {
+		cells[i] = cell{ID: cellID("mix", string(d)), Seed: runner.Seed("mix", string(d))}
+	}
+	return sweepCells(h, cells, 1, func(i int) (MixResult, error) {
+		d := Fig8Designs[i]
 		res, err := h.runMix(d, names)
 		if err != nil {
 			h.Obs.CellFailed(string(d), "mix", err)

@@ -1,0 +1,332 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/ckpt"
+	"repro/internal/config"
+	"repro/internal/faults"
+	"repro/internal/runner"
+)
+
+// The crash-safe contract end to end: a sweep that dies mid-run and
+// resumes from its checkpoint journal must emit byte-identical CSV
+// output to a sweep that never died, because every resumed cell replays
+// the exact serialized result the journal recorded.
+
+func resumeHarness() *Harness {
+	return &Harness{Scale: 1024, Accesses: 6000, Parallel: 4, TelemetryEpoch: 2000}
+}
+
+var resumeDesigns = []config.Design{config.DesignBumblebee, config.DesignAlloy}
+var resumeRates = []float64{0, 10}
+
+func figFaultBytes(t *testing.T, h *Harness) []byte {
+	t.Helper()
+	res, err := h.FigFaultWith(resumeDesigns, resumeRates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFigFaultCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteRunsCSV(&buf, res.PerRun); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTimelineCSV(&buf, res.PerRun); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func resumeMeta() ckpt.Meta {
+	return ckpt.Meta{Tool: "harness-test", Experiment: "figfault", Scale: 1024, Accesses: 6000, TelemetryEpoch: 2000}
+}
+
+func TestResumeAfterKillByteIdentical(t *testing.T) {
+	// Reference: uninterrupted, journal-free.
+	want := figFaultBytes(t, resumeHarness())
+
+	// Full journaled run.
+	dir := t.TempDir()
+	j, err := ckpt.Create(dir, resumeMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := resumeHarness()
+	h.Journal = j
+	if got := figFaultBytes(t, h); !bytes.Equal(got, want) {
+		t.Fatal("journaled run differs from journal-free run")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a SIGKILL mid-write: chop the journal mid-record.
+	path := filepath.Join(dir, ckpt.FileName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:2*len(data)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume: remaining cells re-run, journal-backed cells replay.
+	j2, loaded, err := ckpt.Resume(dir, resumeMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded == nil || len(loaded.Records) == 0 {
+		t.Fatal("truncated journal should still hold a good prefix")
+	}
+	h2 := resumeHarness()
+	h2.Journal = j2
+	got := figFaultBytes(t, h2)
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("resumed run differs from uninterrupted run:\n--- resumed ---\n%.400s\n--- reference ---\n%.400s", got, want)
+	}
+	if j2.Resumed() == 0 {
+		t.Error("resume served no cells from the journal")
+	}
+
+	// A second resume over the now-complete journal replays everything.
+	j3, _, err := ckpt.Resume(dir, resumeMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h3 := resumeHarness()
+	h3.Journal = j3
+	if got := figFaultBytes(t, h3); !bytes.Equal(got, want) {
+		t.Error("fully-replayed run differs from uninterrupted run")
+	}
+	cellCount := len(resumeDesigns) * len(resumeRates) * len(resumeHarness().Benchmarks())
+	if j3.Resumed() != cellCount {
+		t.Errorf("full replay resumed %d cells, want %d", j3.Resumed(), cellCount)
+	}
+	j3.Close()
+}
+
+// interruptAfter is a slog handler that closes stop after the n-th
+// cell-completion record, standing in for SIGINT arriving mid-sweep.
+type interruptAfter struct {
+	mu   sync.Mutex
+	n    int
+	stop chan struct{}
+}
+
+func (ia *interruptAfter) Handle(ctx context.Context, r slog.Record) error {
+	ia.mu.Lock()
+	defer ia.mu.Unlock()
+	if r.Message == "figfault" {
+		ia.n--
+		if ia.n == 0 {
+			close(ia.stop)
+		}
+	}
+	return nil
+}
+
+func (ia *interruptAfter) Enabled(ctx context.Context, level slog.Level) bool { return true }
+func (ia *interruptAfter) WithAttrs(attrs []slog.Attr) slog.Handler           { return ia }
+func (ia *interruptAfter) WithGroup(name string) slog.Handler                 { return ia }
+
+func TestInterruptedSweepResumesToIdenticalBytes(t *testing.T) {
+	want := figFaultBytes(t, resumeHarness())
+
+	dir := t.TempDir()
+	j, err := ckpt.Create(dir, resumeMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	h := resumeHarness()
+	h.Parallel = 2
+	h.Journal = j
+	h.Interrupt = stop
+	h.Log = slog.New(&interruptAfter{n: 5, stop: stop})
+	_, err = h.FigFaultWith(resumeDesigns, resumeRates)
+	if !errors.Is(err, runner.ErrInterrupted) {
+		t.Fatalf("interrupted sweep returned %v, want ErrInterrupted", err)
+	}
+	var intr *runner.Interrupted
+	if !errors.As(err, &intr) || intr.Skipped == 0 {
+		t.Fatalf("interrupt should have skipped cells: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, loaded, err := ckpt.Resume(dir, resumeMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded == nil || len(loaded.Records) == 0 {
+		t.Fatal("drained sweep should have checkpointed its completed cells")
+	}
+	h2 := resumeHarness()
+	h2.Journal = j2
+	got := figFaultBytes(t, h2)
+	j2.Close()
+	if !bytes.Equal(got, want) {
+		t.Error("resume after graceful drain differs from uninterrupted run")
+	}
+}
+
+func TestRetryTransientCellJournalsAttempts(t *testing.T) {
+	// Cells that fail transiently on their first attempt succeed under
+	// the retry budget, and the journal records the attempt count.
+	dir := t.TempDir()
+	j, err := ckpt.Create(dir, resumeMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := resumeHarness()
+	h.Journal = j
+	h.Retry = runner.Retry{MaxAttempts: 3}
+	var mu sync.Mutex
+	failed := map[int]bool{}
+	flaky := func(i int) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if !failed[i] {
+			failed[i] = true
+			return 0, runner.Transient(errors.New("flaky"))
+		}
+		return i, nil
+	}
+	cells := []cell{{ID: "t/0", Seed: 1}, {ID: "t/1", Seed: 2}, {ID: "t/2", Seed: 3}}
+	out, err := sweepCells(h, cells, 1, flaky)
+	if err != nil {
+		t.Fatalf("retried sweep failed: %v", err)
+	}
+	for i, v := range out {
+		if v != i {
+			t.Errorf("cell %d = %d, want %d", i, v, i)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l, err := ckpt.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		rec, ok := l.ByCell[c.ID]
+		if !ok {
+			t.Fatalf("cell %s not journaled", c.ID)
+		}
+		if rec.Attempts != 2 {
+			t.Errorf("cell %s journaled %d attempts, want 2", c.ID, rec.Attempts)
+		}
+	}
+}
+
+func TestJournalAppendFailureFailsSweep(t *testing.T) {
+	dir := t.TempDir()
+	j, err := ckpt.Create(dir, resumeMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Close the journal under the sweep: every Append now errors, and
+	// the sweep must fail loudly instead of silently losing resumability.
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	h := resumeHarness()
+	h.Journal = j
+	_, err = h.FigFaultWith(resumeDesigns[:1], resumeRates[:1])
+	if err == nil {
+		t.Fatal("sweep with a dead journal must fail")
+	}
+	var ce *runner.CellError
+	if !errors.As(err, &ce) {
+		t.Fatalf("journal failure not surfaced as a cell error: %v", err)
+	}
+}
+
+func TestCSVWriteFailurePropagates(t *testing.T) {
+	h := resumeHarness()
+	h.Accesses = 3000
+	res, err := h.FigFaultWith(resumeDesigns[:1], resumeRates[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink bytes.Buffer
+	for _, failAt := range []int{0, 40} {
+		sink.Reset()
+		w := &faults.FailingWriter{W: &sink, FailAt: failAt}
+		if err := WriteFigFaultCSV(w, res); !errors.Is(err, faults.ErrInjectedWrite) {
+			t.Errorf("WriteFigFaultCSV(failAt=%d) = %v, want injected failure", failAt, err)
+		}
+		sink.Reset()
+		w = &faults.FailingWriter{W: &sink, FailAt: failAt}
+		if err := WriteRunsCSV(w, res.PerRun); !errors.Is(err, faults.ErrInjectedWrite) {
+			t.Errorf("WriteRunsCSV(failAt=%d) = %v, want injected failure", failAt, err)
+		}
+		sink.Reset()
+		w = &faults.FailingWriter{W: &sink, FailAt: failAt}
+		if err := WriteTimelineCSV(w, res.PerRun); !errors.Is(err, faults.ErrInjectedWrite) {
+			t.Errorf("WriteTimelineCSV(failAt=%d) = %v, want injected failure", failAt, err)
+		}
+	}
+}
+
+func TestShardedFig8PartitionsExactly(t *testing.T) {
+	h := &Harness{Scale: 2048, Accesses: 3000, Parallel: 4}
+	full, err := h.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 3
+	var shards [n]*Fig8Result
+	for k := 1; k <= n; k++ {
+		hs := &Harness{Scale: 2048, Accesses: 3000, Parallel: 4, Shard: runner.Shard{K: k, N: n}}
+		shards[k-1], err = hs.Fig8()
+		if err != nil {
+			t.Fatalf("shard %d/%d: %v", k, n, err)
+		}
+		if shards[k-1].IPC != nil {
+			t.Fatalf("shard %d/%d built group tables; they need the full matrix", k, n)
+		}
+	}
+	// Round-robin reconstruction: global row i lives at shard i%n,
+	// local position i/n — the merge contract bbreport relies on.
+	var merged []RunResult
+	for i := 0; i < len(full.PerRun); i++ {
+		sh := shards[i%n]
+		if i/n >= len(sh.PerRun) {
+			t.Fatalf("shard %d too short: %d rows, need index %d", i%n, len(sh.PerRun), i/n)
+		}
+		merged = append(merged, sh.PerRun[i/n])
+	}
+	var wantBuf, gotBuf bytes.Buffer
+	if err := WriteRunsCSV(&wantBuf, full.PerRun); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteRunsCSV(&gotBuf, merged); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantBuf.Bytes(), gotBuf.Bytes()) {
+		t.Error("round-robin shard reconstruction differs from the unsharded sweep")
+	}
+	total := 0
+	for _, sh := range shards {
+		total += len(sh.PerRun)
+	}
+	if total != len(full.PerRun) {
+		t.Errorf("shards cover %d cells, want %d", total, len(full.PerRun))
+	}
+}

@@ -49,8 +49,16 @@ type Table2Row struct {
 // Table2 measures the MPKI and footprint our synthetic stand-ins actually
 // produce, next to the paper's reported values. One benchmark per cell.
 func (h *Harness) Table2() ([]Table2Row, error) {
-	h.Obs.AddPlanned(len(h.Benchmarks()))
-	return runner.MapTimeout(h.workers(), h.CellTimeout, h.Benchmarks(), func(_ int, b trace.Benchmark) (Table2Row, error) {
+	bs := h.Benchmarks()
+	cells := make([]cell, len(bs))
+	for i, b := range bs {
+		cells[i] = cell{
+			ID:   cellID("table2", string(config.DesignNoHBM), b.Profile.Name),
+			Seed: runner.Seed(string(config.DesignNoHBM), b.Profile.Name),
+		}
+	}
+	return sweepCells(h, cells, 1, func(i int) (Table2Row, error) {
+		b := bs[i]
 		r, err := h.RunDesign(config.DesignNoHBM, b)
 		if err != nil {
 			return Table2Row{}, fmt.Errorf("table2 %s: %w", b.Profile.Name, err)
@@ -112,12 +120,22 @@ type OverfetchResult struct {
 // cell runs both designs on one benchmark; totals accumulate in benchmark
 // order after the sweep so the result is scheduling-independent.
 func (h *Harness) Overfetch() (OverfetchResult, error) {
+	// Exported fields: the checkpoint journal round-trips cell payloads
+	// through JSON, so sweep payload types must serialize completely.
 	type cellOut struct {
-		fetchedB, usedB, fetchedH, usedH uint64
+		FetchedB, UsedB, FetchedH, UsedH uint64
 	}
 	var res OverfetchResult
-	h.Obs.AddPlanned(2 * len(h.Benchmarks())) // each cell runs Bumblebee and Hybrid2
-	cells, err := runner.MapTimeout(h.workers(), h.CellTimeout, h.Benchmarks(), func(_ int, b trace.Benchmark) (cellOut, error) {
+	bs := h.Benchmarks()
+	ids := make([]cell, len(bs))
+	for i, b := range bs {
+		ids[i] = cell{
+			ID:   cellID("overfetch", b.Profile.Name),
+			Seed: runner.Seed(string(config.DesignBumblebee), b.Profile.Name),
+		}
+	}
+	cells, err := sweepCells(h, ids, 2, func(i int) (cellOut, error) { // each cell runs Bumblebee and Hybrid2
+		b := bs[i]
 		rb, err := h.RunDesign(config.DesignBumblebee, b)
 		if err != nil {
 			return cellOut{}, fmt.Errorf("overfetch %s: %w", b.Profile.Name, err)
@@ -129,8 +147,8 @@ func (h *Harness) Overfetch() (OverfetchResult, error) {
 		h.log("overfetch", "bench", b.Profile.Name,
 			"bumblebee_pct", rb.Counters.OverfetchRate()*100, "hybrid2_pct", rh.Counters.OverfetchRate()*100)
 		return cellOut{
-			fetchedB: rb.Counters.FetchedBytes, usedB: rb.Counters.UsedBytes,
-			fetchedH: rh.Counters.FetchedBytes, usedH: rh.Counters.UsedBytes,
+			FetchedB: rb.Counters.FetchedBytes, UsedB: rb.Counters.UsedBytes,
+			FetchedH: rh.Counters.FetchedBytes, UsedH: rh.Counters.UsedBytes,
 		}, nil
 	})
 	if err != nil {
@@ -138,10 +156,10 @@ func (h *Harness) Overfetch() (OverfetchResult, error) {
 	}
 	var fetchedB, usedB, fetchedH, usedH uint64
 	for _, c := range cells {
-		fetchedB += c.fetchedB
-		usedB += c.usedB
-		fetchedH += c.fetchedH
-		usedH += c.usedH
+		fetchedB += c.FetchedB
+		usedB += c.UsedB
+		fetchedH += c.FetchedH
+		usedH += c.UsedH
 	}
 	if fetchedB > 0 {
 		res.Bumblebee = 1 - minF(float64(usedB)/float64(fetchedB), 1)

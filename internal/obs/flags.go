@@ -7,6 +7,8 @@ import (
 	"log/slog"
 	"runtime"
 	"time"
+
+	"repro/internal/runner"
 )
 
 // Flags is the flag set shared by the three cmd/ binaries. Before this
@@ -17,6 +19,10 @@ type Flags struct {
 	// Sweep scheduling (RegisterSweep).
 	Parallel    int
 	CellTimeout time.Duration
+
+	// Crash-safe retries (RegisterSweep; see runner.Retry).
+	Retry        int
+	RetryBackoff time.Duration
 
 	// Telemetry collection (RegisterTelemetry).
 	TelemetryEpoch uint64
@@ -34,6 +40,10 @@ func (f *Flags) RegisterSweep(fs *flag.FlagSet) {
 		"worker goroutines per sweep (results are identical at any value)")
 	fs.DurationVar(&f.CellTimeout, "cell-timeout", 0,
 		"per-cell deadline for sweeps (0 disables); a hung cell fails instead of blocking the sweep")
+	fs.IntVar(&f.Retry, "retry", 1,
+		"attempts per cell for transient failures (timeouts, injected I/O); 1 disables retries, permanent errors never retry")
+	fs.DurationVar(&f.RetryBackoff, "retry-backoff", 250*time.Millisecond,
+		"base delay before a retry, doubled each attempt with deterministic jitter")
 }
 
 // RegisterTelemetry registers the per-run telemetry flags.
@@ -69,6 +79,11 @@ func (f *Flags) Validate() error {
 	return nil
 }
 
+// RetryPolicy converts the retry flags to the runner's retry config.
+func (f *Flags) RetryPolicy() runner.Retry {
+	return runner.Retry{MaxAttempts: f.Retry, Backoff: f.RetryBackoff}
+}
+
 // StartServer starts the observability endpoints the flags ask for (nil
 // server and nil error when neither address is set), serving sweep's
 // /metrics handler, and installs graceful shutdown on SIGINT/SIGTERM or
@@ -82,5 +97,20 @@ func (f *Flags) StartServer(ctx context.Context, sweep *Sweep, log *slog.Logger)
 		return nil, err
 	}
 	srv.ShutdownOnSignal(ctx, 2*time.Second)
+	return srv, nil
+}
+
+// StartServerManaged is StartServer without the signal handler: the
+// caller owns the process lifecycle (typically via DrainOnSignal, so
+// that SIGINT drains in-flight cells instead of killing the endpoints
+// mid-checkpoint) and must call Shutdown itself.
+func (f *Flags) StartServerManaged(sweep *Sweep, log *slog.Logger) (*Server, error) {
+	if f.Pprof == "" && f.MetricsAddr == "" {
+		return nil, nil
+	}
+	srv := &Server{PprofAddr: f.Pprof, MetricsAddr: f.MetricsAddr, Metrics: sweep.Handler(), Log: log}
+	if err := srv.Start(); err != nil {
+		return nil, err
+	}
 	return srv, nil
 }

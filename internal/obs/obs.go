@@ -59,6 +59,13 @@ type Sweep struct {
 	designs  map[string]*designAgg
 	order    []string // design names in first-seen order
 	lastErr  string
+
+	// Resilience counters (the crash-safe execution layer reports these;
+	// see internal/ckpt and runner.Policy).
+	retried  uint64    // retry attempts consumed by transient cell failures
+	resumed  uint64    // cells served from a checkpoint instead of re-run
+	fsyncs   uint64    // checkpoint journal fsyncs issued
+	lastCkpt time.Time // wall-clock time of the latest checkpoint append
 }
 
 // NewSweep starts tracking a sweep identified by name (usually the
@@ -137,6 +144,51 @@ func (s *Sweep) CellFailed(design, bench string, err error) {
 	}
 }
 
+// CellRetried records one retry of a transiently-failed cell.
+func (s *Sweep) CellRetried() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.retried++
+	s.mu.Unlock()
+}
+
+// CellResumed records one cell served from the checkpoint journal
+// instead of being re-run. Resumed cells count as done — the sweep's
+// completion ratio and ETA cover them — but not toward the design
+// aggregates, which summarize only work performed by this invocation.
+func (s *Sweep) CellResumed() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.done++
+	s.resumed++
+	s.mu.Unlock()
+}
+
+// JournalFsync records one fsync of the checkpoint journal.
+func (s *Sweep) JournalFsync() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.fsyncs++
+	s.mu.Unlock()
+}
+
+// Checkpointed records a checkpoint append at the current wall-clock
+// instant; the exporter reports the age of the latest one.
+func (s *Sweep) Checkpointed() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.lastCkpt = s.now()
+	s.mu.Unlock()
+}
+
 // Snapshot is a consistent copy of the sweep's progress totals.
 type Snapshot struct {
 	Name            string
@@ -149,6 +201,13 @@ type Snapshot struct {
 	ETA             time.Duration // 0 when unknown (nothing done or planned)
 	LastError       string
 	Designs         []string // first-seen order
+
+	// Resilience totals (zero unless the crash-safe layer is active).
+	Retried       uint64        // retry attempts consumed
+	Resumed       uint64        // cells served from the checkpoint journal
+	JournalFsyncs uint64        // checkpoint journal fsyncs issued
+	CheckpointAge time.Duration // age of the latest checkpoint append
+	Checkpointed  bool          // whether any checkpoint append happened
 }
 
 // Snapshot returns the sweep's progress totals at this instant.
@@ -172,6 +231,13 @@ func (s *Sweep) snapshotLocked() Snapshot {
 		LastError: s.lastErr,
 	}
 	snap.Designs = append(snap.Designs, s.order...)
+	snap.Retried = s.retried
+	snap.Resumed = s.resumed
+	snap.JournalFsyncs = s.fsyncs
+	if !s.lastCkpt.IsZero() {
+		snap.Checkpointed = true
+		snap.CheckpointAge = s.now().Sub(s.lastCkpt)
+	}
 	if sec := snap.Elapsed.Seconds(); sec > 0 {
 		snap.AccessesPerSec = float64(s.accesses) / sec
 	}

@@ -40,6 +40,13 @@ func fixedSweep() *Sweep {
 		{Name: "served_dram", Value: 500},
 	}, nil)
 	s.CellFailed("alloy", "xz", errors.New("boom"))
+	// Resilience events: one retry, one cell resumed from the journal,
+	// an fsync, and a checkpoint append 6 s before the snapshot instant.
+	s.CellRetried()
+	s.CellResumed()
+	s.JournalFsync()
+	now = t0.Add(4 * time.Second)
+	s.Checkpointed()
 	now = t0.Add(10 * time.Second)
 	return s
 }
@@ -77,8 +84,9 @@ func TestPrometheusGolden(t *testing.T) {
 func TestSnapshotProgress(t *testing.T) {
 	s := fixedSweep()
 	snap := s.Snapshot()
-	if snap.Planned != 8 || snap.Done != 4 || snap.Failed != 1 {
-		t.Fatalf("planned/done/failed = %d/%d/%d, want 8/4/1", snap.Planned, snap.Done, snap.Failed)
+	// 3 done + 1 failed + 1 resumed from the journal.
+	if snap.Planned != 8 || snap.Done != 5 || snap.Failed != 1 {
+		t.Fatalf("planned/done/failed = %d/%d/%d, want 8/5/1", snap.Planned, snap.Done, snap.Failed)
 	}
 	if snap.Accesses != 3000 {
 		t.Fatalf("accesses = %d, want 3000", snap.Accesses)
@@ -86,12 +94,35 @@ func TestSnapshotProgress(t *testing.T) {
 	if snap.AccessesPerSec != 300 {
 		t.Fatalf("accesses/sec = %g, want 300 (3000 over 10s)", snap.AccessesPerSec)
 	}
-	// 4 cells took 10 s; 4 remain -> ETA 10 s.
-	if snap.ETA != 10*time.Second {
-		t.Fatalf("ETA = %v, want 10s", snap.ETA)
+	// 5 cells took 10 s; 3 remain -> ETA 6 s.
+	if snap.ETA != 6*time.Second {
+		t.Fatalf("ETA = %v, want 6s", snap.ETA)
 	}
 	if !strings.Contains(snap.LastError, "alloy/xz") {
 		t.Fatalf("last error %q does not name the failed cell", snap.LastError)
+	}
+	if snap.Retried != 1 || snap.Resumed != 1 || snap.JournalFsyncs != 1 {
+		t.Fatalf("retried/resumed/fsyncs = %d/%d/%d, want 1/1/1",
+			snap.Retried, snap.Resumed, snap.JournalFsyncs)
+	}
+	if !snap.Checkpointed || snap.CheckpointAge != 6*time.Second {
+		t.Fatalf("checkpoint age = %v (checkpointed=%v), want 6s", snap.CheckpointAge, snap.Checkpointed)
+	}
+}
+
+// TestNoCheckpointAge: a sweep that never checkpointed must not report a
+// bogus age (the exporter renders -1).
+func TestNoCheckpointAge(t *testing.T) {
+	s := NewSweep("plain")
+	if snap := s.Snapshot(); snap.Checkpointed || snap.CheckpointAge != 0 {
+		t.Fatalf("unexpected checkpoint state: %+v", snap)
+	}
+	var b strings.Builder
+	if err := s.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `bb_sweep_checkpoint_age_seconds{sweep="plain"} -1`) {
+		t.Fatalf("exposition missing -1 checkpoint age:\n%s", b.String())
 	}
 }
 
@@ -102,6 +133,10 @@ func TestNilSweepSafe(t *testing.T) {
 	s.AddPlanned(3)
 	s.CellDone("d", "b", 1, nil, nil)
 	s.CellFailed("d", "b", errors.New("x"))
+	s.CellRetried()
+	s.CellResumed()
+	s.JournalFsync()
+	s.Checkpointed()
 	if snap := s.Snapshot(); snap.Done != 0 {
 		t.Fatalf("nil sweep snapshot reports done=%d", snap.Done)
 	}

@@ -179,3 +179,31 @@ func (s *Server) ShutdownOnSignal(ctx context.Context, grace time.Duration) {
 		}
 	}()
 }
+
+// DrainOnSignal is the crash-safe counterpart to ShutdownOnSignal for
+// processes that checkpoint: the first SIGINT/SIGTERM must NOT kill the
+// process (ShutdownOnSignal re-raises it, which would abandon in-flight
+// cells before they reach the journal). Instead it closes the returned
+// channel, which sweeps consume as their Interrupt: workers drain, the
+// journal and a partial manifest flush, and main exits with the
+// resumable status. A second signal restores the default disposition and
+// re-raises, so an operator can still force-kill a stuck drain with ^C^C.
+func DrainOnSignal(log *slog.Logger) <-chan struct{} {
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	stop := make(chan struct{})
+	go func() {
+		sig := <-ch
+		if log != nil {
+			log.Warn("signal received: draining in-flight cells and checkpointing (send again to kill immediately)",
+				"signal", sig.String())
+		}
+		close(stop)
+		sig = <-ch
+		signal.Stop(ch)
+		if p, err := os.FindProcess(os.Getpid()); err == nil {
+			_ = p.Signal(sig)
+		}
+	}()
+	return stop
+}

@@ -8,6 +8,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/ckpt"
 )
 
 // Run is one loaded run directory: its manifest, optional session, and
@@ -21,6 +23,12 @@ type Run struct {
 	Runs     []RunRow
 	Timeline []TimelineRow
 	Latency  []LatencyRow
+
+	// Checkpoint is the run's crash-safety journal when one exists (nil
+	// otherwise). It is deliberately not a manifest output — attempt
+	// counts differ between interrupted and clean runs of the same sweep
+	// — so it loads by its fixed name.
+	Checkpoint *ckpt.Loaded
 }
 
 // LoadRun loads one run directory. The manifest is the source of truth
@@ -51,6 +59,9 @@ func LoadRun(dir string) (*Run, error) {
 				return nil, err
 			}
 		}
+	}
+	if run.Checkpoint, err = ckpt.Load(dir); err != nil {
+		return nil, fmt.Errorf("%s: %w", dir, err)
 	}
 	return run, nil
 }
@@ -212,6 +223,8 @@ func writeRunSection(b *strings.Builder, run *Run, opts Options) {
 		}
 	}
 
+	writeResilience(b, run.Checkpoint)
+
 	flags := Analyze(run, opts.Rules)
 	fmt.Fprintf(b, "\n### Anomalies\n\n")
 	if len(flags) == 0 {
@@ -220,6 +233,50 @@ func writeRunSection(b *strings.Builder, run *Run, opts Options) {
 	}
 	for _, f := range flags {
 		fmt.Fprintf(b, "- **%s** `%s/%s`: %s\n", f.Rule, f.Design, f.Bench, f.Detail)
+	}
+}
+
+// writeResilience renders the crash-safety journal, when one exists:
+// how many cells are checkpointed, which ones needed more than one
+// attempt, and whether a torn tail was dropped on load. Like the rest of
+// the report it is a pure function of the directory's bytes — but note
+// the journal legitimately differs between an interrupted-and-resumed
+// run and a clean one (attempt counts), even though their CSVs are
+// byte-identical.
+func writeResilience(b *strings.Builder, l *ckpt.Loaded) {
+	if l == nil {
+		return
+	}
+	fmt.Fprintf(b, "\n### Resilience\n\n")
+	shard := l.Meta.Shard
+	if shard == "" {
+		shard = "—"
+	}
+	fmt.Fprintf(b, "| field | value |\n|---|---|\n")
+	fmt.Fprintf(b, "| checkpointed cells | %d |\n", len(l.Records))
+	fmt.Fprintf(b, "| shard | %s |\n", shard)
+	retried := make([]ckpt.Record, 0, 4)
+	for _, r := range l.Records {
+		if r.Attempts > 1 {
+			retried = append(retried, r)
+		}
+	}
+	fmt.Fprintf(b, "| cells retried | %d |\n", len(retried))
+	if l.DroppedTail > 0 {
+		fmt.Fprintf(b, "| torn tail dropped on load | %d line(s) |\n", l.DroppedTail)
+	}
+	if len(retried) == 0 {
+		return
+	}
+	sort.Slice(retried, func(i, j int) bool { return retried[i].Cell < retried[j].Cell })
+	fmt.Fprintf(b, "\n| retried cell | attempts |\n|---|---|\n")
+	const maxListed = 20
+	for i, r := range retried {
+		if i == maxListed {
+			fmt.Fprintf(b, "| … %d more | |\n", len(retried)-maxListed)
+			break
+		}
+		fmt.Fprintf(b, "| `%s` | %d |\n", r.Cell, r.Attempts)
 	}
 }
 

@@ -86,11 +86,18 @@ func CellInfo(seed, telemetryEpoch uint64) string {
 
 // CellError records the failure of one cell of a sweep.
 type CellError struct {
-	Index int // position in the input slice
-	Err   error
+	Index     int  // position in the input slice
+	Attempts  int  // times the cell ran before the sweep gave up (>= 1)
+	Transient bool // whether the final error was classified retryable
+	Err       error
 }
 
-func (e *CellError) Error() string { return fmt.Sprintf("cell %d: %v", e.Index, e.Err) }
+func (e *CellError) Error() string {
+	if e.Attempts > 1 {
+		return fmt.Sprintf("cell %d (after %d attempts): %v", e.Index, e.Attempts, e.Err)
+	}
+	return fmt.Sprintf("cell %d: %v", e.Index, e.Err)
+}
 
 // Unwrap exposes the underlying error to errors.Is/As.
 func (e *CellError) Unwrap() error { return e.Err }
@@ -108,6 +115,15 @@ func (es Errors) Error() string {
 		fmt.Fprintf(&b, "; %v", e.Err)
 	}
 	return b.String()
+}
+
+// Unwrap exposes every cell error to errors.Is/As traversal.
+func (es Errors) Unwrap() []error {
+	out := make([]error, len(es))
+	for i, e := range es {
+		out[i] = e
+	}
+	return out
 }
 
 // or returns the aggregate as an error, or nil when every cell succeeded.
@@ -130,13 +146,25 @@ func Map[I, O any](workers int, items []I, fn func(i int, item I) (O, error)) ([
 
 // MapTimeout is Map with a per-cell deadline. timeout <= 0 disables the
 // deadline (cells run inline on the worker, exactly like Map). With a
-// deadline, each cell runs in its own goroutine under a context; a cell
-// that overruns surfaces as a CellError wrapping context.DeadlineExceeded
-// and the sweep moves on instead of deadlocking. The overrunning
-// goroutine itself cannot be killed — it is abandoned and its eventual
-// result discarded (it only ever writes to a private buffered channel, so
-// it cannot race with the assembled output).
+// deadline, each cell runs in its own goroutine; a cell that overruns
+// surfaces as a CellError wrapping context.DeadlineExceeded and the sweep
+// moves on instead of deadlocking. The overrunning goroutine itself
+// cannot be killed — it is abandoned and its eventual result discarded
+// (it only ever writes to a private buffered channel, so it cannot race
+// with the assembled output, and the buffer lets it exit the moment fn
+// returns instead of blocking forever on the send).
 func MapTimeout[I, O any](workers int, timeout time.Duration, items []I, fn func(i int, item I) (O, error)) ([]O, error) {
+	return MapPolicy(workers, Policy{Timeout: timeout}, items, fn)
+}
+
+// MapPolicy is Map under a full execution policy: per-cell deadline,
+// bounded retries with classified backoff (only transient failures
+// retry; permanent ones fail fast on attempt one), and cooperative
+// interruption (workers drain their in-flight cell, then stop). See
+// Policy. Like Map, the outputs come back in input order and every
+// failure is aggregated; an interrupted sweep returns an *Interrupted
+// error that errors.Is-matches ErrInterrupted.
+func MapPolicy[I, O any](workers int, pol Policy, items []I, fn func(i int, item I) (O, error)) ([]O, error) {
 	if workers <= 0 {
 		workers = DefaultWorkers()
 	}
@@ -145,44 +173,52 @@ func MapTimeout[I, O any](workers int, timeout time.Duration, items []I, fn func
 	}
 	out := make([]O, len(items))
 	errs := make([]*CellError, len(items))
+	done := make([]bool, len(items))
 	if len(items) == 0 {
 		return out, nil
+	}
+	maxAttempts := pol.Retry.MaxAttempts
+	if maxAttempts < 1 {
+		maxAttempts = 1
 	}
 	var (
 		next int
 		mu   sync.Mutex
 		wg   sync.WaitGroup
 	)
-	runInline := func(i int) {
+	// runOnce runs cell i once, inline, converting a panic into an error.
+	runOnce := func(i int) (v O, err error) {
 		defer func() {
 			if r := recover(); r != nil {
-				errs[i] = &CellError{Index: i, Err: fmt.Errorf("panic: %v", r)}
+				err = fmt.Errorf("panic: %v", r)
 			}
 		}()
-		v, err := fn(i, items[i])
-		if err != nil {
-			errs[i] = &CellError{Index: i, Err: err}
-			return
-		}
-		out[i] = v
+		return fn(i, items[i])
 	}
 	type result struct {
 		v   O
 		err error
 	}
 	// Per-worker deadline state, reused across the worker's cells so the
-	// inner loop does not allocate a channel, context or timer per cell.
-	// The channel is buffered so an abandoned (timed-out) cell's eventual
-	// send never blocks; once a cell is abandoned its channel belongs to
-	// that goroutine and the worker switches to a fresh one.
+	// inner loop does not allocate a channel or timer per cell. The
+	// channel is buffered so an abandoned (timed-out) cell's eventual
+	// send never blocks and its goroutine always exits; once a cell is
+	// abandoned its channel belongs to that goroutine and the worker
+	// switches to a fresh one.
 	type workerState struct {
 		ch    chan result
 		timer *time.Timer
 	}
-	runCell := func(st *workerState, i int) {
-		if timeout <= 0 {
-			runInline(i)
-			return
+	// attempt runs cell i once under the policy deadline and returns its
+	// error (nil on success, in which case out[i] is set).
+	attempt := func(st *workerState, i int) error {
+		if pol.Timeout <= 0 {
+			v, err := runOnce(i)
+			if err != nil {
+				return err
+			}
+			out[i] = v
+			return nil
 		}
 		if st.ch == nil {
 			st.ch = make(chan result, 1)
@@ -198,21 +234,49 @@ func MapTimeout[I, O any](workers int, timeout time.Duration, items []I, fn func
 			ch <- result{v: v, err: err}
 		}()
 		if st.timer == nil {
-			st.timer = time.NewTimer(timeout)
+			st.timer = time.NewTimer(pol.Timeout)
 		} else {
-			st.timer.Reset(timeout)
+			st.timer.Reset(pol.Timeout)
 		}
 		select {
 		case res := <-ch:
-			st.timer.Stop()
+			// Drain the timer before the next Reset: if it fired in the
+			// same instant the result arrived, the stale expiry would
+			// otherwise sit in timer.C and instantly "time out" the
+			// worker's next cell.
+			if !st.timer.Stop() {
+				<-st.timer.C
+			}
 			if res.err != nil {
-				errs[i] = &CellError{Index: i, Err: res.err}
-				return
+				return res.err
 			}
 			out[i] = res.v
+			return nil
 		case <-st.timer.C:
 			st.ch = nil // the abandoned goroutine keeps the old channel
-			errs[i] = &CellError{Index: i, Err: fmt.Errorf("timed out after %v: %w", timeout, context.DeadlineExceeded)}
+			return fmt.Errorf("timed out after %v: %w", pol.Timeout, context.DeadlineExceeded)
+		}
+	}
+	// runCell is the retry loop around attempt.
+	runCell := func(st *workerState, i int) {
+		for n := 1; ; n++ {
+			err := attempt(st, i)
+			if err == nil {
+				return
+			}
+			transient := IsTransient(err)
+			if !transient || n >= maxAttempts || pol.interrupted() {
+				errs[i] = &CellError{Index: i, Attempts: n, Transient: transient, Err: err}
+				return
+			}
+			if pol.OnRetry != nil {
+				pol.OnRetry(i, n, err)
+			}
+			pol.doSleep(pol.backoffFor(i, n))
+			if pol.interrupted() {
+				errs[i] = &CellError{Index: i, Attempts: n, Transient: transient, Err: err}
+				return
+			}
 		}
 	}
 	wg.Add(workers)
@@ -221,6 +285,9 @@ func MapTimeout[I, O any](workers int, timeout time.Duration, items []I, fn func
 			defer wg.Done()
 			var st workerState
 			for {
+				if pol.interrupted() {
+					return
+				}
 				mu.Lock()
 				i := next
 				next++
@@ -229,6 +296,9 @@ func MapTimeout[I, O any](workers int, timeout time.Duration, items []I, fn func
 					return
 				}
 				runCell(&st, i)
+				mu.Lock()
+				done[i] = true
+				mu.Unlock()
 			}
 		}()
 	}
@@ -237,6 +307,19 @@ func MapTimeout[I, O any](workers int, timeout time.Duration, items []I, fn func
 	for _, e := range errs {
 		if e != nil {
 			agg = append(agg, e)
+		}
+	}
+	if pol.interrupted() {
+		completed, skipped := 0, 0
+		for i := range done {
+			if done[i] {
+				completed++
+			} else {
+				skipped++
+			}
+		}
+		if skipped > 0 {
+			return out, &Interrupted{Done: completed, Skipped: skipped, Cells: agg}
 		}
 	}
 	return out, agg.or()
@@ -253,6 +336,11 @@ func Matrix[R, C, O any](workers int, rows []R, cols []C, fn func(r R, c C) (O, 
 
 // MatrixTimeout is Matrix with a per-cell deadline (see MapTimeout).
 func MatrixTimeout[R, C, O any](workers int, timeout time.Duration, rows []R, cols []C, fn func(r R, c C) (O, error)) ([][]O, error) {
+	return MatrixPolicy(workers, Policy{Timeout: timeout}, rows, cols, fn)
+}
+
+// MatrixPolicy is Matrix under a full execution policy (see MapPolicy).
+func MatrixPolicy[R, C, O any](workers int, pol Policy, rows []R, cols []C, fn func(r R, c C) (O, error)) ([][]O, error) {
 	type cell struct{ ri, ci int }
 	cells := make([]cell, 0, len(rows)*len(cols))
 	for ri := range rows {
@@ -260,7 +348,7 @@ func MatrixTimeout[R, C, O any](workers int, timeout time.Duration, rows []R, co
 			cells = append(cells, cell{ri, ci})
 		}
 	}
-	flat, err := MapTimeout(workers, timeout, cells, func(_ int, c cell) (O, error) {
+	flat, err := MapPolicy(workers, pol, cells, func(_ int, c cell) (O, error) {
 		return fn(rows[c.ri], cols[c.ci])
 	})
 	out := make([][]O, len(rows))
