@@ -1,7 +1,11 @@
-// Command bbtrace generates, inspects, and characterizes memory access
-// traces in the repository's compact binary format (.bbtr).
+// Command bbtrace generates, inspects, converts, and characterizes
+// memory access traces. Generation and conversion speak every encoding
+// internal/tracecodec knows: the repo's compact .bbtr recording,
+// zsim-style text, BBT1 framed binary, and gzip over any of them.
 //
 //	bbtrace gen -bench mcf -n 1000000 -o mcf.bbtr     # record a synthetic stream
+//	bbtrace gen -bench mcf -format binary -gz -o mcf.bbt1.gz
+//	bbtrace convert -to text mcf.bbt1.gz mcf.txt      # any format -> any format
 //	bbtrace info mcf.bbtr                             # characterize a trace
 //	bbtrace bench                                     # characterize all Table II profiles
 package main
@@ -10,6 +14,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strings"
@@ -20,6 +25,7 @@ import (
 	"repro/internal/runner"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
+	"repro/internal/tracecodec"
 )
 
 func main() {
@@ -34,6 +40,8 @@ func main() {
 	switch os.Args[1] {
 	case "gen":
 		gen(os.Args[2:])
+	case "convert":
+		convert(os.Args[2:])
 	case "info":
 		info(os.Args[2:])
 	case "bench":
@@ -44,8 +52,68 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: bbtrace gen|info|bench [flags]")
+	fmt.Fprintln(os.Stderr, "usage: bbtrace gen|convert|info|bench [flags]")
 	os.Exit(2)
+}
+
+// accessSink is where generated accesses land: the .bbtr writer and the
+// tracecodec adapter both satisfy it.
+type accessSink interface {
+	Write(trace.Access) error
+	Count() uint64
+}
+
+// pump streams st into sink in trace.FillBatch batches over one
+// reusable buffer — the same bounded-memory ingestion shape cpu.Run
+// uses, so generating a 10M-access trace allocates the buffer, the
+// writer, and nothing per access. each (optional) observes every access
+// after it is written.
+func pump(st trace.Stream, sink accessSink, each func(trace.Access)) error {
+	buf := make([]trace.Access, 4096)
+	for {
+		n := trace.FillBatch(st, buf)
+		if n == 0 {
+			return trace.Err(st)
+		}
+		for _, a := range buf[:n] {
+			if err := sink.Write(a); err != nil {
+				return err
+			}
+			if each != nil {
+				each(a)
+			}
+		}
+	}
+}
+
+// openSink builds the access sink for one output format. finish flushes
+// framing (the caller still closes the file).
+func openSink(w io.Writer, format string, gz bool) (sink accessSink, finish func() error, err error) {
+	if format == "bbtr" {
+		if gz {
+			return nil, nil, fmt.Errorf("-gz applies to text/binary output, not bbtr")
+		}
+		tw, err := trace.NewWriter(w)
+		if err != nil {
+			return nil, nil, err
+		}
+		return tw, tw.Flush, nil
+	}
+	kind, err := tracecodec.ParseKind(format)
+	if err != nil {
+		return nil, nil, err
+	}
+	aw := tracecodec.NewAccessWriter(tracecodec.NewWriter(w, tracecodec.Format{Kind: kind, Gzip: gz}))
+	return aw, aw.Close, nil
+}
+
+// sinkExt is the conventional file extension for a format.
+func sinkExt(format string, gz bool) string {
+	ext := map[string]string{"bbtr": ".bbtr", "text": ".txt", "binary": ".bbt1"}[format]
+	if gz {
+		ext += ".gz"
+	}
+	return ext
 }
 
 func gen(args []string) {
@@ -53,7 +121,9 @@ func gen(args []string) {
 	bench := fs.String("bench", "mcf", "Table II benchmark name")
 	n := fs.Uint64("n", 1_000_000, "accesses to record")
 	scale := fs.Uint64("scale", 128, "footprint scale factor")
-	out := fs.String("o", "", "output file (default <bench>.bbtr)")
+	format := fs.String("format", "bbtr", "output encoding: bbtr, text, or binary")
+	gz := fs.Bool("gz", false, "gzip the output (text/binary only)")
+	out := fs.String("o", "", "output file (default <bench> + format extension)")
 	var of obs.Flags
 	of.RegisterTelemetry(fs)
 	of.RegisterServe(fs)
@@ -85,15 +155,15 @@ func gen(args []string) {
 	}
 	path := *out
 	if path == "" {
-		path = *bench + ".bbtr"
+		path = *bench + sinkExt(*format, *gz)
 	}
 	f, err := os.Create(path)
 	if err != nil {
 		log.Fatal(err)
 	}
-	w, err := trace.NewWriter(f)
+	sink, finish, err := openSink(f, *format, *gz)
 	if err != nil {
-		log.Fatal(err)
+		log.Fatalf("bbtrace gen: %v", err)
 	}
 	// The generator has no cycle clock, so the Chrome trace uses the access
 	// index as its timebase (FreqMHz 1000 renders access i at i ns).
@@ -101,36 +171,33 @@ func gen(args []string) {
 	var (
 		pages  map[uint64]struct{}
 		writes uint64
+		i      uint64
 		tr     = telemetry.TraceRun{Name: "gen/" + *bench, FreqMHz: 1000}
 	)
+	var each func(trace.Access)
 	if of.TelemetryEpoch > 0 {
 		pages = make(map[uint64]struct{})
 		tr.CounterNames = []string{"footprint_bytes", "writes"}
-	}
-	for i := uint64(0); i < *n; i++ {
-		a, ok := gen.Next()
-		if !ok {
-			break
-		}
-		if err := w.Write(a); err != nil {
-			log.Fatal(err)
-		}
-		if pages != nil {
+		each = func(a trace.Access) {
 			pages[uint64(a.Addr)>>pageShift] = struct{}{}
 			if a.Write {
 				writes++
 			}
-			if (i+1)%of.TelemetryEpoch == 0 {
+			i++
+			if i%of.TelemetryEpoch == 0 {
 				tr.Events = append(tr.Events,
-					telemetry.Event{Cycle: i + 1, Kind: telemetry.EvEpoch, A: i + 1})
+					telemetry.Event{Cycle: i, Kind: telemetry.EvEpoch, A: i})
 				tr.Counters = append(tr.Counters, telemetry.CounterSample{
-					Cycle:  i + 1,
+					Cycle:  i,
 					Values: []uint64{uint64(len(pages)) << pageShift, writes},
 				})
 			}
 		}
 	}
-	if err := w.Flush(); err != nil {
+	if err := pump(&trace.Limit{S: gen, N: *n}, sink, each); err != nil {
+		log.Fatal(err)
+	}
+	if err := finish(); err != nil {
 		log.Fatal(err)
 	}
 	if of.TraceOut != "" {
@@ -159,7 +226,82 @@ func gen(args []string) {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %d accesses to %s (%.2f MB, %.2f B/access)\n",
-		w.Count(), path, float64(st.Size())/1e6, float64(st.Size())/float64(w.Count()))
+		sink.Count(), path, float64(st.Size())/1e6, float64(st.Size())/float64(sink.Count()))
+}
+
+// convert re-encodes a trace file: the input format (including .bbtr
+// recordings and gzip) is sniffed from its bytes, the output format is
+// chosen with -to/-gz. Conversion is streaming and bounded-memory, and
+// refuses damaged input rather than writing a short output.
+func convert(args []string) {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	to := fs.String("to", "binary", "output encoding: bbtr, text, or binary")
+	gz := fs.Bool("gz", false, "gzip the output (text/binary only)")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		log.Fatal("bbtrace convert: need input and output files (use - for stdin/stdout)")
+	}
+	in := os.Stdin
+	if fs.Arg(0) != "-" {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	r, err := tracecodec.Open(in)
+	if err != nil {
+		log.Fatalf("bbtrace convert: %v", err)
+	}
+	out := os.Stdout
+	if fs.Arg(1) != "-" {
+		f, err := os.Create(fs.Arg(1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			// Close errors matter on the write path: a full disk must not
+			// leave a silently truncated trace behind.
+			if err := f.Close(); err != nil {
+				log.Fatalf("bbtrace convert: %v", err)
+			}
+		}()
+		out = f
+	}
+	// A .bbtr output goes through the Stream adapter (cycle deltas become
+	// instruction gaps); the codec formats convert record-for-record.
+	var n uint64
+	if *to == "bbtr" {
+		if *gz {
+			log.Fatal("bbtrace convert: -gz applies to text/binary output, not bbtr")
+		}
+		w, err := trace.NewWriter(out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pump(tracecodec.NewStream(r), w, nil); err != nil {
+			log.Fatalf("bbtrace convert: %v", err)
+		}
+		if err := w.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		n = w.Count()
+	} else {
+		kind, err := tracecodec.ParseKind(*to)
+		if err != nil {
+			log.Fatalf("bbtrace convert: %v", err)
+		}
+		w := tracecodec.NewWriter(out, tracecodec.Format{Kind: kind, Gzip: *gz})
+		n, err = tracecodec.Convert(r, w)
+		if err != nil {
+			log.Fatalf("bbtrace convert: %v", err)
+		}
+		if err := w.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "converted %d accesses\n", n)
 }
 
 func info(args []string) {

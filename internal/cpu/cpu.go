@@ -127,6 +127,12 @@ func Run(core config.Core, hier *cache.Hierarchy, mem Memory, st trace.Stream, o
 	for {
 		n := trace.FillBatch(st, buf)
 		if n == 0 {
+			// A stream can end because it is exhausted or because its
+			// backing trace file is damaged; a short replay would poison
+			// every metric, so decode damage fails the run.
+			if err := trace.Err(st); err != nil {
+				return res, fmt.Errorf("cpu: trace stream failed after %d accesses: %w", res.Accesses, err)
+			}
 			break
 		}
 		for _, acc := range buf[:n] {

@@ -171,15 +171,70 @@ type RunResult struct {
 // determinism rule: a cell's stream depends only on what the cell *is*,
 // never on when or where it ran.
 func (h *Harness) Run(sys config.System, mem hmm.MemSystem, b trace.Benchmark) (RunResult, error) {
-	hier, err := cache.NewHierarchy(sys.Caches)
-	if err != nil {
-		return RunResult{}, err
-	}
 	p := b.Profile
 	if p.Seed == 0 {
 		p.Seed = runner.Seed(mem.Name(), p.Name)
 	}
 	gen, err := trace.NewSynthetic(p)
+	if err != nil {
+		return RunResult{}, err
+	}
+	return h.runStream(sys, mem, p.Name, &trace.Limit{S: gen, N: h.Accesses}, p.Seed)
+}
+
+// RunStream simulates one design over an externally supplied access
+// stream — a replayed trace file (see internal/tracecodec) rather than
+// a synthetic generator. When h.Accesses > 0 the replay is capped at
+// that many accesses; otherwise the trace's length defines the run.
+// The same determinism contract applies: the result is a pure function
+// of (design, stream), so identical trace bytes produce identical
+// results at any Parallel setting.
+func (h *Harness) RunStream(design config.Design, bench string, st trace.Stream) (RunResult, error) {
+	sys := h.System()
+	mem, err := Build(design, sys)
+	if err != nil {
+		return RunResult{}, err
+	}
+	if h.Accesses > 0 {
+		st = &trace.Limit{S: st, N: h.Accesses}
+	}
+	return h.runStream(sys, mem, bench, st, 0)
+}
+
+// ReplaySweep runs one recorded trace against every design in designs,
+// fanning out across the harness worker pool like every other sweep.
+// Each cell consumes its own stream, so open must return a fresh reader
+// over the same trace bytes per call (reopen the file); it is called
+// from worker goroutines and must be safe for concurrent use.
+func (h *Harness) ReplaySweep(designs []config.Design, bench string, open func() (trace.Stream, error)) ([]RunResult, error) {
+	cells := make([]cell, len(designs))
+	for i, d := range designs {
+		cells[i] = cell{
+			ID:   cellID("replay", string(d), bench),
+			Seed: runner.Seed(string(d), bench),
+		}
+	}
+	return sweepCells(h, cells, 1, func(i int) (RunResult, error) {
+		st, err := open()
+		if err != nil {
+			return RunResult{}, fmt.Errorf("replay %s/%s: %w", designs[i], bench, err)
+		}
+		r, err := h.RunStream(designs[i], bench, st)
+		if err != nil {
+			return RunResult{}, err
+		}
+		h.log("replay", "design", r.Design, "bench", bench, "ipc", r.CPU.IPC())
+		return r, nil
+	})
+}
+
+// runStream is the shared back half of Run and RunStream: it builds the
+// cache hierarchy, attaches fault injection and telemetry, feeds the
+// stream through cpu.Run's batch ingestion path, and assembles the
+// result. seed is recorded in failure messages for replayability (0 for
+// external traces, whose identity is the trace file itself).
+func (h *Harness) runStream(sys config.System, mem hmm.MemSystem, bench string, st trace.Stream, seed uint64) (RunResult, error) {
+	hier, err := cache.NewHierarchy(sys.Caches)
 	if err != nil {
 		return RunResult{}, err
 	}
@@ -190,7 +245,7 @@ func (h *Harness) Run(sys config.System, mem hmm.MemSystem, b trace.Benchmark) (
 	if sys.Faults.Enabled {
 		dev := mem.Devices()
 		dev.AttachFaults(faults.New(sys.Faults, dev.Geom.HBMPages(),
-			runner.Seed("faults", mem.Name(), b.Profile.Name)))
+			runner.Seed("faults", mem.Name(), bench)))
 	}
 	// Telemetry is per-cell: each run owns one probe, and everything it
 	// records is a pure function of the cell's access stream, so the
@@ -216,16 +271,15 @@ func (h *Harness) Run(sys config.System, mem hmm.MemSystem, b trace.Benchmark) (
 	// buffer is scratch space fully rewritten each batch — sharing cannot
 	// leak state between cells.
 	accBuf := accBufPool.Get().(*[]trace.Access)
-	res, err := cpu.Run(sys.Core, hier, mem, &trace.Limit{S: gen, N: h.Accesses},
-		cpu.WithAccessBuffer(*accBuf))
+	res, err := cpu.Run(sys.Core, hier, mem, st, cpu.WithAccessBuffer(*accBuf))
 	accBufPool.Put(accBuf)
 	if err != nil {
 		// Include the cell's replay identity: the seed pins the workload
 		// and fault streams, the epoch pins the sampling cadence, so the
 		// failure reproduces from the log alone.
-		h.Obs.CellFailed(mem.Name(), b.Profile.Name, err)
+		h.Obs.CellFailed(mem.Name(), bench, err)
 		return RunResult{}, fmt.Errorf("%s/%s (%s): %w",
-			mem.Name(), b.Profile.Name, runner.CellInfo(p.Seed, h.TelemetryEpoch), err)
+			mem.Name(), bench, runner.CellInfo(seed, h.TelemetryEpoch), err)
 	}
 	if runTel != nil {
 		runTel.Lat = probe.Lat
@@ -243,10 +297,10 @@ func (h *Harness) Run(sys config.System, mem hmm.MemSystem, b trace.Benchmark) (
 		lat = &probe.Lat
 	}
 	cnt := mem.Counters()
-	h.obsDone(mem.Name(), b.Profile.Name, res.Accesses, cnt, lat)
+	h.obsDone(mem.Name(), bench, res.Accesses, cnt, lat)
 	return RunResult{
 		Design:    mem.Name(),
-		Bench:     b.Profile.Name,
+		Bench:     bench,
 		CPU:       res,
 		Counters:  cnt,
 		Energy:    e,

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Service tracks the live state of the trace-replay job service
+// (cmd/bbserve): queue depth, in-flight and completed jobs, cache hits,
+// and backpressure rejections. Like Sweep, every method is nil-safe —
+// a nil *Service is the disabled state — and goroutine-safe, and the
+// exposition body is byte-deterministic for a given state.
+type Service struct {
+	mu        sync.Mutex
+	queued    uint64 // jobs accepted but not yet running
+	active    uint64 // jobs currently simulating
+	done      uint64 // jobs completed successfully
+	failed    uint64 // jobs that errored
+	cacheHits uint64 // requests served from an existing job's results
+	rejected  uint64 // requests refused with 429 (queue full)
+}
+
+// JobQueued records one job entering the queue.
+func (s *Service) JobQueued() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.queued++
+	s.mu.Unlock()
+}
+
+// JobStarted records one job moving from the queue to a worker.
+func (s *Service) JobStarted() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.queued > 0 {
+		s.queued--
+	}
+	s.active++
+	s.mu.Unlock()
+}
+
+// JobDone records one job finishing; failed says how.
+func (s *Service) JobDone(failed bool) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.active > 0 {
+		s.active--
+	}
+	if failed {
+		s.failed++
+	} else {
+		s.done++
+	}
+	s.mu.Unlock()
+}
+
+// CacheHit records a request answered by an already-submitted job.
+func (s *Service) CacheHit() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.cacheHits++
+	s.mu.Unlock()
+}
+
+// Rejected records one request refused for backpressure.
+func (s *Service) Rejected() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.rejected++
+	s.mu.Unlock()
+}
+
+// ServiceSnapshot is a consistent copy of the service gauges.
+type ServiceSnapshot struct {
+	Queued, Active, Done, Failed, CacheHits, Rejected uint64
+}
+
+// Snapshot returns the gauges at this instant.
+func (s *Service) Snapshot() ServiceSnapshot {
+	if s == nil {
+		return ServiceSnapshot{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return ServiceSnapshot{
+		Queued: s.queued, Active: s.active, Done: s.done,
+		Failed: s.failed, CacheHits: s.cacheHits, Rejected: s.rejected,
+	}
+}
+
+// WritePrometheus renders the service gauges in Prometheus text format.
+func (s *Service) WritePrometheus(w io.Writer) error {
+	snap := s.Snapshot()
+	var b strings.Builder
+	gauge := func(name, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n",
+			name, help, name, name, strconv.FormatUint(v, 10))
+	}
+	gauge("bb_serve_jobs_queued", "Replay jobs accepted and waiting for a worker.", snap.Queued)
+	gauge("bb_serve_jobs_active", "Replay jobs currently simulating.", snap.Active)
+	gauge("bb_serve_jobs_done_total", "Replay jobs completed successfully.", snap.Done)
+	gauge("bb_serve_jobs_failed_total", "Replay jobs that failed.", snap.Failed)
+	gauge("bb_serve_cache_hits_total", "Requests served from an already-submitted job's results.", snap.CacheHits)
+	gauge("bb_serve_rejected_total", "Requests refused with 429 because the queue was full.", snap.Rejected)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Handler returns the /metrics HTTP handler for the service.
+func (s *Service) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,525 @@
+// Package serve is the trace-replay simulation service behind
+// cmd/bbserve: clients POST a trace file (any encoding
+// internal/tracecodec understands, chunked bodies included) together
+// with a design selection, jobs run on a bounded worker fleet with
+// explicit backpressure, and the results come back as a
+// manifest-verified run directory — the same runs.csv + manifest.json +
+// session.json layout every sweep CLI writes, so `bbreport verify` and
+// the rest of the toolchain work on served results unchanged.
+//
+// Job identity is content-addressed: the job ID is a SHA-256 over the
+// trace bytes' digest plus every deterministic knob (design, benchmark
+// label, access cap, scale). The repo-wide determinism contract —
+// identical inputs produce byte-identical outputs — is what makes that
+// sound as a *result cache*: a second POST of the same trace and config
+// returns the already-computed directory without simulating anything.
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/harness"
+	"repro/internal/obs"
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/tracecodec"
+)
+
+// Defaults for the bounded fleet.
+const (
+	DefaultQueueDepth    = 16
+	DefaultWorkers       = 2
+	DefaultMaxTraceBytes = 1 << 30
+
+	// retryAfterSeconds is the backoff hint sent with 429 responses.
+	retryAfterSeconds = 2
+)
+
+// benchRE bounds the benchmark label: it names files and cells, so it
+// stays in the same alphabet as the repo's design and benchmark names.
+var benchRE = regexp.MustCompile(`^[a-zA-Z0-9._-]{1,64}$`)
+
+// Server is the replay-job service. Populate the exported fields, call
+// Start, mount Handler on an http.Server, and Drain on shutdown.
+type Server struct {
+	// Harness is the execution template every job copies: scale, cell
+	// timeout, per-job parallelism, retry policy. Required.
+	Harness *harness.Harness
+
+	// DataDir is the service's state root: spooled uploads, accepted
+	// traces (traces/<job>), and result directories (runs/<job>).
+	DataDir string
+
+	QueueDepth    int          // queued-job bound; 429 past it (default 16)
+	Workers       int          // concurrent simulating jobs (default 2)
+	MaxTraceBytes int64        // request-body cap (default 1 GiB)
+	Log           *slog.Logger // nil is silent
+	Obs           *obs.Service // live gauges; nil disables
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	queue    chan *job
+	draining bool
+	started  bool
+	wg       sync.WaitGroup
+	sims     atomic.Uint64 // simulations actually executed (cache misses)
+
+	// holdJobs is a test hook: when non-nil, workers block on it before
+	// taking up each job, so tests can fill the queue deterministically.
+	holdJobs chan struct{}
+}
+
+// job states.
+const (
+	stateQueued  = "queued"
+	stateRunning = "running"
+	stateDone    = "done"
+	stateFailed  = "failed"
+)
+
+// job is one accepted replay request. Mutable fields are guarded by the
+// server mutex; done closes when the job reaches a terminal state.
+type job struct {
+	ID          string
+	Design      string // "all" or one config.Design name
+	Bench       string
+	Accesses    uint64 // 0 replays the whole trace
+	TraceSHA256 string
+	TracePath   string
+	Dir         string
+
+	state string
+	errMsg string
+	done  chan struct{}
+}
+
+// JobStatus is the JSON body of submit and poll responses.
+type JobStatus struct {
+	ID       string   `json:"id"`
+	Status   string   `json:"status"`
+	Design   string   `json:"design"`
+	Bench    string   `json:"bench"`
+	Accesses uint64   `json:"accesses"`
+	Cached   bool     `json:"cached,omitempty"` // this request matched an existing job
+	Error    string   `json:"error,omitempty"`
+	Files    []string `json:"files,omitempty"` // fetchable when status is done
+}
+
+// Start applies defaults, creates the state directories, and launches
+// the worker fleet.
+func (s *Server) Start() error {
+	if s.Harness == nil {
+		return fmt.Errorf("serve: Harness is required")
+	}
+	if s.DataDir == "" {
+		return fmt.Errorf("serve: DataDir is required")
+	}
+	if s.QueueDepth <= 0 {
+		s.QueueDepth = DefaultQueueDepth
+	}
+	if s.Workers <= 0 {
+		s.Workers = DefaultWorkers
+	}
+	if s.MaxTraceBytes <= 0 {
+		s.MaxTraceBytes = DefaultMaxTraceBytes
+	}
+	for _, dir := range []string{s.DataDir, s.tracesDir(), s.runsDir()} {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+	}
+	s.jobs = make(map[string]*job)
+	s.queue = make(chan *job, s.QueueDepth)
+	s.started = true
+	for i := 0; i < s.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return nil
+}
+
+func (s *Server) tracesDir() string { return filepath.Join(s.DataDir, "traces") }
+func (s *Server) runsDir() string   { return filepath.Join(s.DataDir, "runs") }
+
+// Simulations reports how many jobs actually simulated (queue-to-worker
+// executions, not cache hits) — the observable the cache tests pin.
+func (s *Server) Simulations() uint64 { return s.sims.Load() }
+
+// Handler returns the service's HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/files/{name}", s.handleFile)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		draining := s.draining
+		s.mu.Unlock()
+		if draining {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	if s.Obs != nil {
+		mux.Handle("GET /metrics", s.Obs.Handler())
+	}
+	return mux
+}
+
+// Drain stops accepting jobs, lets queued and in-flight jobs finish,
+// and returns when the fleet is idle (or ctx expires). Safe to call
+// more than once.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		if s.started {
+			close(s.queue)
+		}
+	}
+	s.mu.Unlock()
+	idle := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) logf(msg string, args ...any) {
+	if s.Log != nil {
+		s.Log.Info(msg, args...)
+	}
+}
+
+// handleSubmit spools the posted trace while hashing it, derives the
+// content-addressed job ID, and either joins an existing job (cache
+// hit), enqueues a new one, or refuses with backpressure.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	design := r.URL.Query().Get("design")
+	if design == "" {
+		design = "all"
+	}
+	if design != "all" && !validDesign(design) {
+		httpError(w, http.StatusBadRequest, "unknown design %q", design)
+		return
+	}
+	bench := r.URL.Query().Get("bench")
+	if bench == "" {
+		bench = "trace"
+	}
+	if !benchRE.MatchString(bench) {
+		httpError(w, http.StatusBadRequest, "bad bench label %q", bench)
+		return
+	}
+	accesses := s.Harness.Accesses
+	if v := r.URL.Query().Get("accesses"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad accesses %q", v)
+			return
+		}
+		accesses = n
+	}
+
+	// Spool the body to disk while hashing: the trace may be larger than
+	// memory and arrive chunked, and its digest is the cache key.
+	digest, spool, err := s.spoolBody(w, r)
+	if err != nil {
+		// spoolBody already answered.
+		return
+	}
+	id := jobID(digest, design, bench, accesses, s.Harness.Scale)
+
+	s.mu.Lock()
+	if existing, ok := s.jobs[id]; ok {
+		st := s.statusLocked(existing, true)
+		s.mu.Unlock()
+		os.Remove(spool)
+		s.Obs.CacheHit()
+		s.logf("job joined", "job", id, "status", st.Status)
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+	if s.draining || !s.started {
+		s.mu.Unlock()
+		os.Remove(spool)
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	j := &job{
+		ID: id, Design: design, Bench: bench, Accesses: accesses,
+		TraceSHA256: digest,
+		TracePath:   filepath.Join(s.tracesDir(), id+".trace"),
+		Dir:         filepath.Join(s.runsDir(), id),
+		state:       stateQueued,
+		done:        make(chan struct{}),
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		os.Remove(spool)
+		s.Obs.Rejected()
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		httpError(w, http.StatusTooManyRequests, "job queue full (%d queued); retry later", s.QueueDepth)
+		return
+	}
+	if err := os.Rename(spool, j.TracePath); err != nil {
+		// The worker will fail the job when it cannot open the trace;
+		// refusing here would leave a phantom queue entry.
+		s.logf("spool rename failed", "job", id, "err", err.Error())
+	}
+	s.jobs[id] = j
+	st := s.statusLocked(j, false)
+	s.mu.Unlock()
+	s.Obs.JobQueued()
+	s.logf("job queued", "job", id, "design", design, "bench", bench, "accesses", accesses)
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+// spoolBody copies the request body to a temp file while hashing it.
+// On failure it answers the request and returns an error.
+func (s *Server) spoolBody(w http.ResponseWriter, r *http.Request) (digest, path string, err error) {
+	body := http.MaxBytesReader(w, r.Body, s.MaxTraceBytes)
+	f, err := os.CreateTemp(s.DataDir, "spool-*")
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "spool: %v", err)
+		return "", "", err
+	}
+	h := sha256.New()
+	n, err := io.Copy(f, io.TeeReader(body, h))
+	cerr := f.Close()
+	if err == nil {
+		err = cerr
+	}
+	if err == nil && n == 0 {
+		err = fmt.Errorf("empty body")
+	}
+	if err != nil {
+		os.Remove(f.Name())
+		httpError(w, http.StatusBadRequest, "reading trace body: %v", err)
+		return "", "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), f.Name(), nil
+}
+
+// jobID derives the content-addressed job identity: the SHA-256 of the
+// trace digest plus every deterministic knob. Equal IDs mean equal
+// results, so the ID doubles as the cache key.
+func jobID(traceDigest, design, bench string, accesses, scale uint64) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "bbserve-job-v1\x00%s\x00%s\x00%s\x00%d\x00%d", traceDigest, design, bench, accesses, scale)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func validDesign(name string) bool {
+	for _, d := range harness.AllDesigns {
+		if string(d) == name {
+			return true
+		}
+	}
+	return false
+}
+
+// handleStatus reports one job's state.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	var st JobStatus
+	if ok {
+		st = s.statusLocked(j, false)
+	}
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleFile serves one result file of a completed job.
+func (s *Server) handleFile(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if name != filepath.Base(name) || name == "." || name == ".." {
+		httpError(w, http.StatusBadRequest, "bad file name")
+		return
+	}
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	var state string
+	if ok {
+		state = j.state
+	}
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if state != stateDone {
+		httpError(w, http.StatusConflict, "job is %s; files are served once it is done", state)
+		return
+	}
+	http.ServeFile(w, r, filepath.Join(s.runsDir(), j.ID, name))
+}
+
+// statusLocked renders a job's status; the caller holds s.mu.
+func (s *Server) statusLocked(j *job, cached bool) JobStatus {
+	st := JobStatus{
+		ID: j.ID, Status: j.state, Design: j.Design, Bench: j.Bench,
+		Accesses: j.Accesses, Cached: cached, Error: j.errMsg,
+	}
+	if j.state == stateDone {
+		if ents, err := os.ReadDir(j.Dir); err == nil {
+			for _, e := range ents {
+				st.Files = append(st.Files, e.Name())
+			}
+			sort.Strings(st.Files)
+		}
+	}
+	return st
+}
+
+// worker drains the queue until Drain closes it.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.Obs.JobStarted()
+		s.mu.Lock()
+		j.state = stateRunning
+		s.mu.Unlock()
+		if hold := s.holdJobs; hold != nil {
+			<-hold // test hook: park the worker with the job marked running
+		}
+		err := s.runJob(j)
+		s.mu.Lock()
+		if err != nil {
+			j.state, j.errMsg = stateFailed, err.Error()
+		} else {
+			j.state = stateDone
+		}
+		s.mu.Unlock()
+		close(j.done)
+		s.Obs.JobDone(err != nil)
+		if err != nil {
+			s.logf("job failed", "job", j.ID, "err", err.Error())
+		} else {
+			s.logf("job done", "job", j.ID)
+		}
+	}
+}
+
+// runJob replays the job's trace on its design selection and writes the
+// manifest-verified run directory.
+func (s *Server) runJob(j *job) error {
+	start := time.Now()
+	s.sims.Add(1)
+	h := *s.Harness
+	h.Accesses = j.Accesses
+	designs := harness.AllDesigns
+	if j.Design != "all" {
+		designs = []config.Design{config.Design(j.Design)}
+	}
+
+	// Each sweep cell consumes its own reader over the spooled trace;
+	// handles are collected and closed when the sweep finishes (a cell
+	// capped by Accesses does not drain its stream, so close-on-EOF
+	// would leak).
+	var fmu sync.Mutex
+	var files []*os.File
+	defer func() {
+		fmu.Lock()
+		for _, f := range files {
+			f.Close()
+		}
+		fmu.Unlock()
+	}()
+	open := func() (trace.Stream, error) {
+		f, err := os.Open(j.TracePath)
+		if err != nil {
+			return nil, err
+		}
+		fmu.Lock()
+		files = append(files, f)
+		fmu.Unlock()
+		r, err := tracecodec.Open(f)
+		if err != nil {
+			return nil, err
+		}
+		return tracecodec.NewStream(r), nil
+	}
+	runs, err := h.ReplaySweep(designs, j.Bench, open)
+	if err != nil {
+		return err
+	}
+
+	if err := os.MkdirAll(j.Dir, 0o755); err != nil {
+		return err
+	}
+	rf, err := os.Create(filepath.Join(j.Dir, "runs.csv"))
+	if err != nil {
+		return err
+	}
+	if err := harness.WriteRunsCSV(rf, runs); err != nil {
+		rf.Close()
+		return err
+	}
+	if err := rf.Close(); err != nil {
+		return err
+	}
+	m := report.New("bbserve", "replay/"+j.Bench, h.Scale, j.Accesses, h.TelemetryEpoch)
+	m.Flags = map[string]string{
+		"design":       j.Design,
+		"bench":        j.Bench,
+		"trace_sha256": j.TraceSHA256,
+	}
+	if err := m.AddOutput(j.Dir, "runs.csv", "runs"); err != nil {
+		return err
+	}
+	if err := m.Write(j.Dir); err != nil {
+		return err
+	}
+	sess := report.Session{
+		Parallel: h.Parallel,
+		CPUs:     runtime.NumCPU(),
+		Started:  start.UTC().Format(time.RFC3339),
+		WallMS:   time.Since(start).Milliseconds(),
+	}
+	return sess.Write(j.Dir)
+}
+
+// writeJSON renders v with the usual headers.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	http.Error(w, fmt.Sprintf(format, args...), code)
+}

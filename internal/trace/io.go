@@ -25,6 +25,12 @@ type Writer struct {
 	w    *bufio.Writer
 	prev uint64
 	n    uint64
+	// buf is the per-record encode scratch. A stack array would escape
+	// through bufio's slow path (its underlying io.Writer is an
+	// interface), costing one heap allocation per access; a reused field
+	// keeps Write allocation-free, which the bbtrace gen alloc-budget
+	// test pins.
+	buf []byte
 }
 
 // NewWriter writes the header and returns a trace writer.
@@ -44,26 +50,19 @@ func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
 
 // Write appends one access.
 func (w *Writer) Write(a Access) error {
-	var buf [binary.MaxVarintLen64]byte
-	delta := zigzag(int64(uint64(a.Addr)) - int64(w.prev))
-	n := binary.PutUvarint(buf[:], delta)
-	if _, err := w.w.Write(buf[:n]); err != nil {
-		return err
-	}
-	n = binary.PutUvarint(buf[:], uint64(a.Gap))
-	if _, err := w.w.Write(buf[:n]); err != nil {
-		return err
-	}
+	b := w.buf[:0]
+	b = binary.AppendUvarint(b, zigzag(int64(uint64(a.Addr))-int64(w.prev)))
+	b = binary.AppendUvarint(b, uint64(a.Gap))
 	var flags byte
 	if a.Write {
 		flags = 1
 	}
-	if err := w.w.WriteByte(flags); err != nil {
-		return err
-	}
+	b = append(b, flags)
+	w.buf = b
 	w.prev = uint64(a.Addr)
 	w.n++
-	return nil
+	_, err := w.w.Write(b)
+	return err
 }
 
 // Count returns the number of accesses written.

@@ -35,6 +35,25 @@ type BatchStream interface {
 	NextBatch(dst []Access) int
 }
 
+// Failable is a Stream whose end can mean damage rather than
+// exhaustion: replayed trace files end early when a frame is torn or a
+// checksum fails, and the consumer must distinguish that from a clean
+// EOF. Err returns nil for a clean end.
+type Failable interface {
+	Err() error
+}
+
+// Err reports s's decode error, if s can have one. Synthetic generators
+// cannot fail, so a plain Stream always yields nil; consumers (cpu.Run)
+// call this once after ingestion so a damaged trace fails the run
+// instead of silently truncating it.
+func Err(s Stream) error {
+	if f, ok := s.(Failable); ok {
+		return f.Err()
+	}
+	return nil
+}
+
 // FillBatch fills dst from s, using the batch path when s supports it.
 // It returns the number of accesses written; 0 means the stream ended.
 func FillBatch(s Stream, dst []Access) int {
@@ -77,6 +96,9 @@ func (l *Limit) NextBatch(dst []Access) int {
 	l.N -= uint64(n)
 	return n
 }
+
+// Err implements Failable, forwarding the wrapped stream's error.
+func (l *Limit) Err() error { return Err(l.S) }
 
 // Offset shifts every address of a stream by a fixed delta — the
 // simplest model of distinct address spaces when co-running

@@ -1,0 +1,269 @@
+package tracecodec
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// BBT1 is the compact binary trace framing:
+//
+//	magic "BBT1" | version u8 |
+//	frame*: payloadLen uvarint | crc32(payload) u32le | payload
+//	payload: count uvarint | record*
+//	record: cycleDelta zigzag-varint | addrDelta zigzag-varint | flags u8
+//
+// Deltas run against the previous record across the whole trace
+// (cycles are near-monotonic and addresses cluster, so both compress to
+// a couple of bytes). Each frame carries a CRC32 over its payload and
+// declares its record count, so truncation, bit flips, and torn tails
+// are all detected and refused — mirroring internal/ckpt's damage
+// model, except that a trace is replay *input*, not crash recovery
+// state, so every kind of damage is a hard error rather than a
+// drop-the-tail warning.
+const (
+	binaryVersion = 1
+
+	// frameRecs is how many records the writer packs per frame: large
+	// enough to amortize framing, small enough that a reader holds only
+	// ~tens of KB of payload at a time.
+	frameRecs = 4096
+
+	// maxFramePayload bounds a frame's declared length so a corrupt (or
+	// adversarial) length prefix cannot make the reader allocate
+	// gigabytes. A full frame of worst-case records is ~80 KiB.
+	maxFramePayload = 1 << 20
+)
+
+func zigzag(d int64) uint64   { return uint64(d<<1) ^ uint64(d>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// BinaryWriter encodes records as BBT1.
+type BinaryWriter struct {
+	w         *bufio.Writer
+	wroteH    bool
+	payload   []byte
+	count     int
+	prevCycle uint64
+	prevAddr  uint64
+	scratch   [2*binary.MaxVarintLen64 + 1]byte
+	lenBuf    [binary.MaxVarintLen64 + 4]byte
+}
+
+// NewBinaryWriter returns a BBT1 Writer over w.
+func NewBinaryWriter(w io.Writer) *BinaryWriter {
+	return &BinaryWriter{w: bufio.NewWriterSize(w, 64*1024)}
+}
+
+func (b *BinaryWriter) header() error {
+	if b.wroteH {
+		return nil
+	}
+	b.wroteH = true
+	if _, err := b.w.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	return b.w.WriteByte(binaryVersion)
+}
+
+// Write implements Writer.
+func (b *BinaryWriter) Write(r Rec) error {
+	if err := b.header(); err != nil {
+		return err
+	}
+	s := b.scratch[:0]
+	s = binary.AppendUvarint(s, zigzag(int64(r.Cycle)-int64(b.prevCycle)))
+	s = binary.AppendUvarint(s, zigzag(int64(r.Addr)-int64(b.prevAddr)))
+	var flags byte
+	if r.Write {
+		flags = 1
+	}
+	s = append(s, flags)
+	b.payload = append(b.payload, s...)
+	b.count++
+	b.prevCycle, b.prevAddr = r.Cycle, r.Addr
+	if b.count >= frameRecs {
+		return b.flushFrame()
+	}
+	return nil
+}
+
+// flushFrame emits the buffered records as one CRC-framed block.
+func (b *BinaryWriter) flushFrame() error {
+	if b.count == 0 {
+		return nil
+	}
+	var cnt [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(cnt[:], uint64(b.count))
+	payloadLen := n + len(b.payload)
+	crc := crc32.ChecksumIEEE(cnt[:n])
+	crc = crc32.Update(crc, crc32.IEEETable, b.payload)
+	h := binary.PutUvarint(b.lenBuf[:], uint64(payloadLen))
+	binary.LittleEndian.PutUint32(b.lenBuf[h:], crc)
+	if _, err := b.w.Write(b.lenBuf[:h+4]); err != nil {
+		return err
+	}
+	if _, err := b.w.Write(cnt[:n]); err != nil {
+		return err
+	}
+	if _, err := b.w.Write(b.payload); err != nil {
+		return err
+	}
+	b.payload = b.payload[:0]
+	b.count = 0
+	return nil
+}
+
+// Close implements Writer: it flushes the final partial frame and the
+// buffered output. The header is written even for an empty trace.
+func (b *BinaryWriter) Close() error {
+	if err := b.header(); err != nil {
+		return err
+	}
+	if err := b.flushFrame(); err != nil {
+		return err
+	}
+	return b.w.Flush()
+}
+
+// BinaryReader decodes BBT1.
+type BinaryReader struct {
+	r         *bufio.Reader
+	payload   []byte // current frame's records, CRC-verified
+	off       int
+	remaining int // records left in the current frame
+	prevCycle uint64
+	prevAddr  uint64
+	frame     int
+	err       error
+	done      bool
+}
+
+// NewBinaryReader validates the BBT1 header and returns a Reader.
+func NewBinaryReader(r io.Reader) (*BinaryReader, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReaderSize(r, 64*1024)
+	}
+	head := make([]byte, len(binaryMagic)+1)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("tracecodec: binary: reading header: %w", err)
+	}
+	if string(head[:len(binaryMagic)]) != binaryMagic {
+		return nil, fmt.Errorf("tracecodec: binary: bad magic %q", head[:len(binaryMagic)])
+	}
+	if v := head[len(binaryMagic)]; v != binaryVersion {
+		return nil, fmt.Errorf("tracecodec: binary: version %d written by a newer tool (this binary understands %d)", v, binaryVersion)
+	}
+	return &BinaryReader{r: br}, nil
+}
+
+// Next implements Reader.
+func (b *BinaryReader) Next() (Rec, bool) {
+	if b.err != nil || b.done {
+		return Rec{}, false
+	}
+	if b.remaining == 0 {
+		if !b.nextFrame() {
+			return Rec{}, false
+		}
+	}
+	cd, err1 := b.uvarint()
+	ad, err2 := b.uvarint()
+	if err1 != nil || err2 != nil || b.off >= len(b.payload) {
+		b.err = fmt.Errorf("tracecodec: binary: frame %d: record overruns payload", b.frame)
+		return Rec{}, false
+	}
+	flags := b.payload[b.off]
+	b.off++
+	if flags > 1 {
+		b.err = fmt.Errorf("tracecodec: binary: frame %d: bad record flags %#x", b.frame, flags)
+		return Rec{}, false
+	}
+	b.remaining--
+	if b.remaining == 0 && b.off != len(b.payload) {
+		b.err = fmt.Errorf("tracecodec: binary: frame %d: %d trailing payload bytes", b.frame, len(b.payload)-b.off)
+		return Rec{}, false
+	}
+	b.prevCycle = uint64(int64(b.prevCycle) + unzigzag(cd))
+	b.prevAddr = uint64(int64(b.prevAddr) + unzigzag(ad))
+	return Rec{Cycle: b.prevCycle, Addr: b.prevAddr, Write: flags&1 != 0}, true
+}
+
+// nextFrame loads and CRC-verifies the next frame. Clean EOF is only an
+// EOF on the frame's first byte; anything else mid-frame is truncation.
+func (b *BinaryReader) nextFrame() bool {
+	payloadLen, err := binary.ReadUvarint(b.r)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			b.done = true
+		} else {
+			b.err = fmt.Errorf("tracecodec: binary: frame %d: reading length: %w", b.frame+1, err)
+		}
+		return false
+	}
+	b.frame++
+	if payloadLen == 0 || payloadLen > maxFramePayload {
+		b.err = fmt.Errorf("tracecodec: binary: frame %d: payload length %d out of (0,%d]", b.frame, payloadLen, maxFramePayload)
+		return false
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(b.r, crcBuf[:]); err != nil {
+		b.err = fmt.Errorf("tracecodec: binary: frame %d: truncated checksum: %w", b.frame, err)
+		return false
+	}
+	if cap(b.payload) < int(payloadLen) {
+		b.payload = make([]byte, payloadLen)
+	}
+	b.payload = b.payload[:payloadLen]
+	if _, err := io.ReadFull(b.r, b.payload); err != nil {
+		b.err = fmt.Errorf("tracecodec: binary: frame %d: truncated payload: %w", b.frame, err)
+		return false
+	}
+	want := binary.LittleEndian.Uint32(crcBuf[:])
+	if got := crc32.ChecksumIEEE(b.payload); got != want {
+		b.err = fmt.Errorf("tracecodec: binary: frame %d: crc mismatch %08x, frame says %08x", b.frame, got, want)
+		return false
+	}
+	b.off = 0
+	count, err := b.uvarintHeader()
+	if err != nil {
+		b.err = fmt.Errorf("tracecodec: binary: frame %d: bad record count", b.frame)
+		return false
+	}
+	// The count is bounded by the payload it must fit in (each record is
+	// >= 3 bytes), so a lying count cannot drive allocation — records
+	// decode one at a time and overrun detection catches the mismatch.
+	if count == 0 || count > payloadLen {
+		b.err = fmt.Errorf("tracecodec: binary: frame %d: record count %d impossible for %d payload bytes", b.frame, count, payloadLen)
+		return false
+	}
+	b.remaining = int(count)
+	return true
+}
+
+// uvarintHeader decodes the frame's count field from the payload.
+func (b *BinaryReader) uvarintHeader() (uint64, error) {
+	v, n := binary.Uvarint(b.payload[b.off:])
+	if n <= 0 {
+		return 0, errors.New("bad uvarint")
+	}
+	b.off += n
+	return v, nil
+}
+
+// uvarint decodes one varint from the current payload position.
+func (b *BinaryReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(b.payload[b.off:])
+	if n <= 0 {
+		return 0, errors.New("bad uvarint")
+	}
+	b.off += n
+	return v, nil
+}
+
+// Err implements Reader.
+func (b *BinaryReader) Err() error { return b.err }
