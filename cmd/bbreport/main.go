@@ -4,6 +4,7 @@
 //	bbreport report runs/a runs/b        # joined Markdown report + anomaly flags
 //	bbreport verify runs/a               # re-hash outputs against manifest.json
 //	bbreport merge -o merged shard1 shard2 shard3   # verified shard merge
+//	bbreport trace runs/<job>/service_trace.json    # critical path + span analysis
 //	bbreport bench -parse bench.txt -o BENCH_bumblebee.json
 //	bbreport bench -compare new.json -against BENCH_bumblebee.json
 //
@@ -20,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/report"
@@ -30,7 +32,7 @@ func main() {
 }
 
 func usage(stderr io.Writer) int {
-	fmt.Fprintln(stderr, "usage: bbreport report|verify|merge|bench [flags] [args]")
+	fmt.Fprintln(stderr, "usage: bbreport report|verify|merge|trace|bench [flags] [args]")
 	return 2
 }
 
@@ -46,6 +48,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runVerify(args[1:], stdout, stderr)
 	case "merge":
 		return runMerge(args[1:], stdout, stderr)
+	case "trace":
+		return runTrace(args[1:], stdout, stderr)
 	case "bench":
 		return runBench(args[1:], stdout, stderr)
 	default:
@@ -157,6 +161,46 @@ func runMerge(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "%s: merged %d shards, %d rows across %d files (%s)\n",
 		*out, res.Shards, res.Rows, len(res.Files), strings.Join(res.Files, ", "))
+	return 0
+}
+
+// runTrace renders the span-tree analysis of a bbserve
+// service_trace.json: critical path, per-span duration aggregates, and
+// anomaly rules (queue-dominated, decode-dominated, admission-dominated).
+func runTrace(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("o", "", "write the Markdown here instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "bbreport trace: need one service_trace.json (or a run directory containing it)")
+		return 2
+	}
+	path := fs.Arg(0)
+	if st, err := os.Stat(path); err == nil && st.IsDir() {
+		path = filepath.Join(path, "service_trace.json")
+	}
+	spans, err := report.LoadServiceTrace(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "bbreport trace: %v\n", err)
+		return 1
+	}
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(stderr, "bbreport trace: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := report.WriteTraceMarkdown(w, spans); err != nil {
+		fmt.Fprintf(stderr, "bbreport trace: %v\n", err)
+		return 1
+	}
 	return 0
 }
 

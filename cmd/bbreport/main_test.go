@@ -82,6 +82,38 @@ func TestReportAndVerifySubcommands(t *testing.T) {
 	}
 }
 
+// TestTraceSubcommand renders the committed service-trace fixture and
+// checks the headline sections land on stdout and via -o identically.
+func TestTraceSubcommand(t *testing.T) {
+	fixture := filepath.Join("..", "..", "internal", "report", "testdata", "service_trace.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"trace", fixture}, &stdout, &stderr); code != 0 {
+		t.Fatalf("trace exit %d: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"# bbserve request trace", "### Critical path", "| job | job-fixture |", "**queue-dominated**"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace output missing %q:\n%s", want, out)
+		}
+	}
+
+	dst := filepath.Join(t.TempDir(), "trace.md")
+	if code := run([]string{"trace", "-o", dst, fixture}, &stdout, &stderr); code != 0 {
+		t.Fatalf("trace -o exit %d: %s", code, stderr.String())
+	}
+	written, err := os.ReadFile(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(written) != out {
+		t.Error("-o output differs from stdout output")
+	}
+
+	if code := run([]string{"trace", filepath.Join(t.TempDir(), "missing.json")}, &stdout, &stderr); code != 1 {
+		t.Error("missing trace file: want exit 1")
+	}
+}
+
 // TestUsageExitCodes: bad invocations exit 2 without touching anything.
 func TestUsageExitCodes(t *testing.T) {
 	var stdout, stderr bytes.Buffer
@@ -92,6 +124,8 @@ func TestUsageExitCodes(t *testing.T) {
 		{"verify"},
 		{"bench"},
 		{"bench", "-compare", "x.json"}, // missing -against
+		{"trace"},
+		{"trace", "a.json", "b.json"}, // exactly one input
 	} {
 		if code := run(args, &stdout, &stderr); code != 2 {
 			t.Fatalf("args %v: want exit 2, got %d", args, code)

@@ -8,12 +8,18 @@
 //	# submit a trace against every design, then poll and fetch
 //	curl -sT mcf.bbt1 'localhost:8380/v1/jobs?bench=mcf'
 //	curl -s localhost:8380/v1/jobs/<id>
+//	curl -sN localhost:8380/v1/jobs/<id>/events    # live progress (SSE)
 //	curl -sO localhost:8380/v1/jobs/<id>/files/runs.csv
 //
 // Identical (trace, config) submissions are served from the result
 // cache without re-simulating; a full queue answers 429 with a
 // Retry-After hint; SIGINT/SIGTERM drains in-flight jobs before exit
-// (a second signal kills immediately).
+// (a second signal kills immediately). Each job records a span tree
+// (spool, cache lookup, queue wait, decode, simulate, write) exported
+// as a Perfetto-loadable service_trace.json among its artifacts —
+// aborted trees included on drain — and the per-phase latency
+// histograms behind /metrics. /livez answers 200 while the process is
+// up; /readyz goes 503 while starting or draining.
 package main
 
 import (

@@ -262,6 +262,14 @@ type Journal struct {
 	OnAppend func()
 	OnFsync  func()
 
+	// TraceAppend, when set, wraps every Append in a request-scoped
+	// span: it is called with the cell identity before the write and the
+	// closure it returns is called with the append's outcome afterwards,
+	// both outside the journal lock. bbserve wires this to the job's
+	// span tree so checkpoint durability shows up on the request
+	// timeline. nil is ignored.
+	TraceAppend func(cell string) func(error)
+
 	mu      sync.Mutex
 	w       io.Writer // the file, or a test seam
 	f       *os.File  // nil when writing to a plain io.Writer
@@ -362,7 +370,11 @@ func (j *Journal) Resumed() int {
 // configured cadence. Errors are the caller's to surface — a dropped
 // checkpoint record silently becomes re-run work at best and a corrupt
 // resume at worst, so they must never be swallowed.
-func (j *Journal) Append(cell string, seed uint64, attempts int, payload any) error {
+func (j *Journal) Append(cell string, seed uint64, attempts int, payload any) (err error) {
+	if j.TraceAppend != nil {
+		done := j.TraceAppend(cell)
+		defer func() { done(err) }()
+	}
 	js, err := json.Marshal(payload)
 	if err != nil {
 		return fmt.Errorf("journal: marshal cell %q: %w", cell, err)

@@ -395,3 +395,31 @@ func TestCreateFailsThroughPublicAPI(t *testing.T) {
 		t.Skip("running as root: unwritable dirs are writable")
 	}
 }
+
+func TestTraceAppendHook(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Create(dir, testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	var cells []string
+	var outcomes []error
+	j.TraceAppend = func(cell string) func(error) {
+		cells = append(cells, cell)
+		return func(err error) { outcomes = append(outcomes, err) }
+	}
+	if err := j.Append("fig8/bumblebee/mcf", 0x1, 1, cellResult{Design: "bumblebee"}); err != nil {
+		t.Fatal(err)
+	}
+	// An unserializable payload must report its error to the hook too.
+	if err := j.Append("fig8/bumblebee/bad", 0x2, 1, func() {}); err == nil {
+		t.Fatal("Append of unserializable payload succeeded")
+	}
+	if len(cells) != 2 || cells[0] != "fig8/bumblebee/mcf" || cells[1] != "fig8/bumblebee/bad" {
+		t.Fatalf("hook saw cells %v", cells)
+	}
+	if len(outcomes) != 2 || outcomes[0] != nil || outcomes[1] == nil {
+		t.Fatalf("hook saw outcomes %v", outcomes)
+	}
+}

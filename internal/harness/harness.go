@@ -19,6 +19,7 @@ package harness
 import (
 	"fmt"
 	"log/slog"
+	"strconv"
 	"sync"
 	"time"
 
@@ -94,6 +95,15 @@ type Harness struct {
 	// exactly once and `bbreport merge` can reassemble the unsharded
 	// cell order.
 	Shard runner.Shard
+
+	// Spans is the request-scoped span collector: when bbserve executes a
+	// job it hands its per-job harness copy the job's trace here, and the
+	// harness records one simulate span per design cell (plus checkpoint
+	// append spans when a journal is attached) under SpanParent. nil (the
+	// default) disables tracing at nil-check cost — spans, like Obs, live
+	// strictly outside the simulation and never influence results.
+	Spans      *obs.JobTrace
+	SpanParent obs.SpanID
 }
 
 // accBufPool holds trace ingestion buffers (see cpu.WithAccessBuffer),
@@ -198,7 +208,15 @@ func (h *Harness) RunStream(design config.Design, bench string, st trace.Stream)
 	if h.Accesses > 0 {
 		st = &trace.Limit{S: st, N: h.Accesses}
 	}
-	return h.runStream(sys, mem, bench, st, 0)
+	sp := h.Spans.Start(h.SpanParent, "simulate/"+string(design))
+	r, err := h.runStream(sys, mem, bench, st, 0)
+	if err != nil {
+		h.Spans.Fail(sp, err)
+		return r, err
+	}
+	h.Spans.Annotate(sp, "accesses", strconv.FormatUint(r.CPU.Accesses, 10))
+	h.Spans.End(sp)
+	return r, nil
 }
 
 // ReplaySweep runs one recorded trace against every design in designs,

@@ -74,6 +74,24 @@ func sweepCells[T any](h *Harness, cells []cell, per int, run func(i int) (T, er
 		per = 1
 	}
 	h.Obs.AddPlanned(len(owned) * per)
+	if h.Journal != nil && h.Spans.Enabled() && h.Journal.TraceAppend == nil {
+		// Thread checkpoint durability onto the request timeline: each
+		// journal append becomes a ckpt/append span under the sweep's
+		// parent. Set before the workers start, so no append races the
+		// hook installation.
+		spans, parent := h.Spans, h.SpanParent
+		h.Journal.TraceAppend = func(cellID string) func(error) {
+			id := spans.Start(parent, "ckpt/append")
+			spans.Annotate(id, "cell", cellID)
+			return func(err error) {
+				if err != nil {
+					spans.Fail(id, err)
+					return
+				}
+				spans.End(id)
+			}
+		}
+	}
 	tracker := &attemptTracker{m: make(map[int]int)}
 	pol := runner.Policy{
 		Timeout:   h.CellTimeout,

@@ -50,6 +50,13 @@ type Sweep struct {
 	name string
 	now  func() time.Time // injectable clock for deterministic tests
 
+	// OnUpdate, when set before the sweep starts, is called with a fresh
+	// snapshot after every cell completion or failure, outside the sweep
+	// lock. bbserve uses it to push live progress events to SSE
+	// subscribers; the callback must not call back into the Sweep's
+	// mutating methods.
+	OnUpdate func(Snapshot)
+
 	mu       sync.Mutex
 	start    time.Time
 	planned  uint64
@@ -106,7 +113,6 @@ func (s *Sweep) CellDone(design, bench string, accesses uint64, counters []KV, l
 		return
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.done++
 	s.accesses += accesses
 	d := s.design(design)
@@ -125,6 +131,7 @@ func (s *Sweep) CellDone(design, bench string, accesses uint64, counters []KV, l
 		d.hasLat = true
 	}
 	_ = bench // identity only matters for failures today; kept for symmetry
+	s.notifyAndUnlock()
 }
 
 // CellFailed records one failed cell.
@@ -133,7 +140,6 @@ func (s *Sweep) CellFailed(design, bench string, err error) {
 		return
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.done++
 	s.failed++
 	d := s.design(design)
@@ -141,6 +147,21 @@ func (s *Sweep) CellFailed(design, bench string, err error) {
 	d.failed++
 	if err != nil {
 		s.lastErr = design + "/" + bench + ": " + err.Error()
+	}
+	s.notifyAndUnlock()
+}
+
+// notifyAndUnlock fires the OnUpdate hook (snapshot taken under the
+// held lock, callback invoked after release) and unlocks s.mu.
+func (s *Sweep) notifyAndUnlock() {
+	hook := s.OnUpdate
+	var snap Snapshot
+	if hook != nil {
+		snap = s.snapshotLocked()
+	}
+	s.mu.Unlock()
+	if hook != nil {
+		hook(snap)
 	}
 }
 
@@ -165,7 +186,7 @@ func (s *Sweep) CellResumed() {
 	s.mu.Lock()
 	s.done++
 	s.resumed++
-	s.mu.Unlock()
+	s.notifyAndUnlock()
 }
 
 // JournalFsync records one fsync of the checkpoint journal.

@@ -7,7 +7,38 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
+
+	"repro/internal/telemetry"
 )
+
+// Phase names one measured segment of a job's lifecycle. The service
+// keeps one latency histogram per phase; queue_wait and e2e observe one
+// sample per executed job, decode and simulate one per design cell.
+type Phase int
+
+const (
+	PhaseQueueWait Phase = iota // accepted → picked up by a worker
+	PhaseDecode                 // trace open + codec decode, per design cell
+	PhaseSimulate               // RunStream execution, per design cell
+	PhaseE2E                    // submit accepted → artifacts written
+	NumPhases
+)
+
+// String returns the phase's metric label.
+func (p Phase) String() string {
+	switch p {
+	case PhaseQueueWait:
+		return "queue_wait"
+	case PhaseDecode:
+		return "decode"
+	case PhaseSimulate:
+		return "simulate"
+	case PhaseE2E:
+		return "e2e"
+	}
+	return "unknown"
+}
 
 // Service tracks the live state of the trace-replay job service
 // (cmd/bbserve): queue depth, in-flight and completed jobs, cache hits,
@@ -16,12 +47,39 @@ import (
 // exposition body is byte-deterministic for a given state.
 type Service struct {
 	mu        sync.Mutex
-	queued    uint64 // jobs accepted but not yet running
-	active    uint64 // jobs currently simulating
-	done      uint64 // jobs completed successfully
-	failed    uint64 // jobs that errored
-	cacheHits uint64 // requests served from an existing job's results
-	rejected  uint64 // requests refused with 429 (queue full)
+	queued    uint64                         // jobs accepted but not yet running
+	active    uint64                         // jobs currently simulating
+	done      uint64                         // jobs completed successfully
+	failed    uint64                         // jobs that errored
+	cacheHits uint64                         // requests served from an existing job's results
+	rejected  uint64                         // requests refused with 429 (queue full)
+	lat       [NumPhases]telemetry.Histogram // phase latencies in nanoseconds
+}
+
+// ObservePhase records one phase latency sample. Samples are stored in
+// nanoseconds in the shared fixed-bucket log2 histogram, so quantiles
+// are deterministic bucket upper bounds like every other latency the
+// repo reports.
+func (s *Service) ObservePhase(p Phase, d time.Duration) {
+	if s == nil || p < 0 || p >= NumPhases {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	s.mu.Lock()
+	s.lat[p].Observe(uint64(d))
+	s.mu.Unlock()
+}
+
+// PhaseHistogram returns a copy of one phase's latency histogram.
+func (s *Service) PhaseHistogram(p Phase) telemetry.Histogram {
+	if s == nil || p < 0 || p >= NumPhases {
+		return telemetry.Histogram{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lat[p]
 }
 
 // JobQueued records one job entering the queue.
@@ -102,9 +160,17 @@ func (s *Service) Snapshot() ServiceSnapshot {
 	}
 }
 
-// WritePrometheus renders the service gauges in Prometheus text format.
+// WritePrometheus renders the service gauges and phase latency
+// summaries in Prometheus text format. All phases are rendered even
+// before their first sample so the exposition schema is stable.
 func (s *Service) WritePrometheus(w io.Writer) error {
 	snap := s.Snapshot()
+	var lat [NumPhases]telemetry.Histogram
+	if s != nil {
+		s.mu.Lock()
+		lat = s.lat
+		s.mu.Unlock()
+	}
 	var b strings.Builder
 	gauge := func(name, help string, v uint64) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n",
@@ -116,6 +182,17 @@ func (s *Service) WritePrometheus(w io.Writer) error {
 	gauge("bb_serve_jobs_failed_total", "Replay jobs that failed.", snap.Failed)
 	gauge("bb_serve_cache_hits_total", "Requests served from an already-submitted job's results.", snap.CacheHits)
 	gauge("bb_serve_rejected_total", "Requests refused with 429 because the queue was full.", snap.Rejected)
+	fmt.Fprintf(&b, "# HELP bb_serve_latency_seconds Service phase latency in seconds (queue_wait: accepted to worker pickup; decode/simulate: per design cell; e2e: submit to artifacts written).\n# TYPE bb_serve_latency_seconds summary\n")
+	for p := Phase(0); p < NumPhases; p++ {
+		h := &lat[p]
+		phase := escapeLabel(p.String())
+		for _, q := range latQuantiles {
+			fmt.Fprintf(&b, "bb_serve_latency_seconds{phase=%q,quantile=%q} %s\n",
+				phase, q.label, fmtFloat(float64(h.Quantile(q.q))/1e9))
+		}
+		fmt.Fprintf(&b, "bb_serve_latency_seconds_sum{phase=%q} %s\n", phase, fmtFloat(float64(h.Sum)/1e9))
+		fmt.Fprintf(&b, "bb_serve_latency_seconds_count{phase=%q} %d\n", phase, h.Count)
+	}
 	_, err := io.WriteString(w, b.String())
 	return err
 }

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fixedService returns a Service in a fully deterministic state: every
+// gauge non-zero and every phase histogram populated with power-of-two
+// latencies, so quantiles land exactly on bucket upper bounds.
+func fixedService() *Service {
+	s := &Service{}
+	for i := 0; i < 3; i++ {
+		s.JobQueued()
+		s.JobStarted()
+	}
+	s.JobDone(false)
+	s.JobDone(true)
+	s.CacheHit()
+	s.CacheHit()
+	s.Rejected()
+	for p := Phase(0); p < NumPhases; p++ {
+		for i, d := range []time.Duration{
+			time.Microsecond, 2 * time.Microsecond, time.Millisecond,
+		} {
+			s.ObservePhase(p, d*time.Duration(i+1))
+		}
+	}
+	return s
+}
+
+// TestServicePrometheusGolden pins the exposition body bytewise, like
+// the sweep metrics golden: run with UPDATE_GOLDEN=1 to regenerate.
+func TestServicePrometheusGolden(t *testing.T) {
+	var b strings.Builder
+	if err := fixedService().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	goldenPath := filepath.Join("testdata", "service_metrics.golden.txt")
+	want, err := os.ReadFile(goldenPath)
+	if os.IsNotExist(err) || os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", goldenPath)
+		return
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition body differs from golden.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestServiceExpositionLint checks the body against the text-format
+// 0.0.4 grammar: every sample line parses, every metric family is
+// preceded by its HELP and TYPE, and the phase summary covers all
+// phases with the three quantiles plus _sum and _count.
+func TestServiceExpositionLint(t *testing.T) {
+	var b strings.Builder
+	if err := fixedService().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	sample := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z0-9_]+="[^"]*"(,[a-zA-Z0-9_]+="[^"]*")*\})? -?[0-9].*$`)
+	typed := map[string]bool{}
+	helped := map[string]bool{}
+	seen := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSuffix(b.String(), "\n"), "\n") {
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			helped[strings.Fields(rest)[0]] = true
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			f := strings.Fields(rest)
+			if len(f) != 2 || (f[1] != "gauge" && f[1] != "summary" && f[1] != "counter") {
+				t.Errorf("bad TYPE line %q", line)
+			}
+			typed[f[0]] = true
+			continue
+		}
+		m := sample.FindStringSubmatch(line)
+		if m == nil {
+			t.Errorf("unparseable sample line %q", line)
+			continue
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(m[1], "_sum"), "_count")
+		if !typed[base] || !helped[base] {
+			t.Errorf("sample %q not preceded by HELP+TYPE for %q", line, base)
+		}
+		seen[m[0][:len(m[1])+len(m[2])]]++
+	}
+	for p := Phase(0); p < NumPhases; p++ {
+		for _, q := range []string{"0.5", "0.95", "0.99"} {
+			key := `bb_serve_latency_seconds{phase="` + p.String() + `",quantile="` + q + `"}`
+			if seen[key] != 1 {
+				t.Errorf("missing or duplicated %s (count %d)", key, seen[key])
+			}
+		}
+		for _, suffix := range []string{"_sum", "_count"} {
+			key := `bb_serve_latency_seconds` + suffix + `{phase="` + p.String() + `"}`
+			if seen[key] != 1 {
+				t.Errorf("missing or duplicated %s", key)
+			}
+		}
+	}
+}
+
+// TestServiceHammer drives every counter and histogram path from many
+// goroutines at once; run under -race this is the data-race proof, and
+// the totals check catches lost updates either way.
+func TestServiceHammer(t *testing.T) {
+	s := &Service{}
+	const workers, iters = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				s.JobQueued()
+				s.JobStarted()
+				s.JobDone(i%5 == 0)
+				s.CacheHit()
+				s.Rejected()
+				s.ObservePhase(Phase(i%int(NumPhases)), time.Duration(i)*time.Microsecond)
+				if i%50 == 0 {
+					var b strings.Builder
+					if err := s.WritePrometheus(&b); err != nil {
+						t.Errorf("WritePrometheus: %v", err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := s.Snapshot()
+	total := uint64(workers * iters)
+	if snap.Done+snap.Failed != total {
+		t.Errorf("done+failed = %d, want %d", snap.Done+snap.Failed, total)
+	}
+	if snap.CacheHits != total || snap.Rejected != total {
+		t.Errorf("cacheHits=%d rejected=%d, want %d", snap.CacheHits, snap.Rejected, total)
+	}
+	if snap.Queued != 0 || snap.Active != 0 {
+		t.Errorf("queued=%d active=%d, want 0/0", snap.Queued, snap.Active)
+	}
+	var count uint64
+	for p := Phase(0); p < NumPhases; p++ {
+		count += s.PhaseHistogram(p).Count
+	}
+	if count != total {
+		t.Errorf("histogram samples = %d, want %d", count, total)
+	}
+	// Nil stays inert under the same calls.
+	var nilSvc *Service
+	nilSvc.JobQueued()
+	nilSvc.ObservePhase(PhaseE2E, time.Second)
+	if nilSvc.PhaseHistogram(PhaseE2E).Count != 0 {
+		t.Error("nil service recorded a sample")
+	}
+}

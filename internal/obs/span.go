@@ -1,0 +1,313 @@
+package obs
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// This file is the request-scoped tracing layer of the simulation
+// service: one JobTrace per accepted job collects a tree of wall-clock
+// spans (submit spooling, queue wait, per-design decode and simulate,
+// artifact writes, checkpoint appends) keyed by the job-correlation ID,
+// and exports it through the telemetry Chrome/Perfetto writer as the
+// job's service_trace.json artifact.
+//
+// Cost contract, mirroring telemetry.Probe: a nil *JobTrace is the
+// disabled state, and every exported entry point is a tiny nil-checked
+// wrapper that inlines into the caller — the harness calls span points
+// unconditionally, so the disabled path must cost no more than a
+// pointer compare (asserted < 2 ns by TestDisabledSpanOverhead).
+//
+// Clock contract: spans are offsets of a single monotonic birth instant
+// (time.Since never reads the wall clock twice), so a span tree is
+// internally consistent even across NTP slews. Span durations are
+// wall-clock facts of one invocation — like session.json, and unlike
+// everything else the simulator emits, they legitimately differ between
+// two runs of the same job; the *structure* (names, parents, order of
+// span IDs) is deterministic.
+
+// SpanID names one span within its JobTrace; 0 is "no span" (the root's
+// parent, and the return value of every disabled Start).
+type SpanID uint64
+
+// Span statuses. Open spans carry "" until ended.
+const (
+	SpanOK      = "ok"
+	SpanError   = "error"
+	SpanAborted = "aborted" // ended by Abort during a drain, not by its owner
+)
+
+// SpanAttr is one key/value annotation on a span, kept in attach order
+// so exports are byte-deterministic.
+type SpanAttr struct {
+	Key, Value string
+}
+
+// Span is one recorded operation: a name, an explicit parent, and
+// monotonic start/duration offsets from the trace's birth.
+type Span struct {
+	ID     SpanID
+	Parent SpanID // 0 for roots
+	Name   string
+	Start  time.Duration // offset from trace birth
+	Dur    time.Duration // zero while open
+	Status string        // "" while open
+	Attrs  []SpanAttr
+}
+
+// End returns the span's end offset.
+func (s Span) End() time.Duration { return s.Start + s.Dur }
+
+// JobTrace collects one job's span tree. All methods are nil-safe and
+// goroutine-safe: sweep workers record decode/simulate spans
+// concurrently while the service owns the root.
+type JobTrace struct {
+	mu    sync.Mutex
+	job   string
+	born  time.Time
+	now   func() time.Time // injectable clock for deterministic tests
+	spans []Span
+}
+
+// NewJobTrace starts a trace for the job with the given correlation ID.
+func NewJobTrace(job string) *JobTrace {
+	t := &JobTrace{job: job, now: time.Now}
+	t.born = t.now()
+	return t
+}
+
+// Job returns the trace's job-correlation ID ("" when disabled).
+func (t *JobTrace) Job() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.job
+}
+
+// SetJob names the trace's job after the fact: bbserve derives the
+// content-addressed job ID from the spooled body, which the trace's
+// first spans already cover, so the trace is born nameless.
+func (t *JobTrace) SetJob(job string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.job = job
+	t.mu.Unlock()
+}
+
+// Enabled reports whether the trace is collecting (false on nil).
+func (t *JobTrace) Enabled() bool { return t != nil }
+
+// Start opens a span under parent (0 for a root span) and returns its
+// ID. This is the hot-path entry point: it must stay a nil check plus a
+// call so the disabled path inlines away.
+func (t *JobTrace) Start(parent SpanID, name string) SpanID {
+	if t == nil {
+		return 0
+	}
+	return t.start(parent, name)
+}
+
+func (t *JobTrace) start(parent SpanID, name string) SpanID {
+	off := t.now().Sub(t.born)
+	t.mu.Lock()
+	id := SpanID(len(t.spans) + 1)
+	t.spans = append(t.spans, Span{ID: id, Parent: parent, Name: name, Start: off})
+	t.mu.Unlock()
+	return id
+}
+
+// Annotate attaches one key/value pair to an open or closed span.
+func (t *JobTrace) Annotate(id SpanID, key, value string) {
+	if t == nil || id == 0 {
+		return
+	}
+	t.mu.Lock()
+	if i := int(id) - 1; i < len(t.spans) {
+		t.spans[i].Attrs = append(t.spans[i].Attrs, SpanAttr{key, value})
+	}
+	t.mu.Unlock()
+}
+
+// End closes a span with status ok and returns its duration. Ending an
+// already-ended span is a no-op (it keeps the first outcome), so
+// deferred Ends compose with explicit Fail calls.
+func (t *JobTrace) End(id SpanID) time.Duration {
+	if t == nil || id == 0 {
+		return 0
+	}
+	return t.end(id, SpanOK, nil)
+}
+
+// Fail closes a span with status error, recording err as an attribute.
+func (t *JobTrace) Fail(id SpanID, err error) time.Duration {
+	if t == nil || id == 0 {
+		return 0
+	}
+	return t.end(id, SpanError, err)
+}
+
+func (t *JobTrace) end(id SpanID, status string, err error) time.Duration {
+	off := t.now().Sub(t.born)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	i := int(id) - 1
+	if i >= len(t.spans) || t.spans[i].Status != "" {
+		return 0
+	}
+	t.spans[i].Dur = off - t.spans[i].Start
+	t.spans[i].Status = status
+	if err != nil {
+		t.spans[i].Attrs = append(t.spans[i].Attrs, SpanAttr{"error", err.Error()})
+	}
+	return t.spans[i].Dur
+}
+
+// Abort ends every still-open span with status aborted, leaf-first so
+// children never outlive their parents. This is the SIGTERM-drain path:
+// a job abandoned mid-flight still exports a consistent partial tree.
+func (t *JobTrace) Abort() {
+	if t == nil {
+		return
+	}
+	off := t.now().Sub(t.born)
+	t.mu.Lock()
+	for i := len(t.spans) - 1; i >= 0; i-- {
+		if t.spans[i].Status == "" {
+			t.spans[i].Dur = off - t.spans[i].Start
+			t.spans[i].Status = SpanAborted
+		}
+	}
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans in start (= ID) order.
+func (t *JobTrace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	for i := range out {
+		out[i].Attrs = append([]SpanAttr(nil), out[i].Attrs...)
+	}
+	return out
+}
+
+// TraceRun converts the span tree into one telemetry.TraceRun for the
+// Chrome/Perfetto writer. Cycle domain: 1 cycle = 1 ns (FreqMHz 1000),
+// so exported timestamps are microseconds with nanosecond precision.
+// Track rows are assigned deterministically: each span takes the lowest
+// row on which it either properly nests with or is disjoint from every
+// span already placed there, starting from its parent's row — so a
+// sequential tree stays on one row and concurrent sweep cells fan out
+// to their own rows instead of rendering as mis-nested slices.
+func (t *JobTrace) TraceRun(name string) telemetry.TraceRun {
+	tr := telemetry.TraceRun{Name: name, FreqMHz: 1000}
+	if t == nil {
+		return tr
+	}
+	job := t.Job()
+	spans := t.Spans()
+	row := assignRows(spans)
+	for i, s := range spans {
+		ev := telemetry.SpanEvent{
+			Name:  s.Name,
+			TID:   row[i],
+			Start: uint64(s.Start),
+			Dur:   uint64(max64(s.Dur, 0)),
+		}
+		ev.Args = append(ev.Args,
+			telemetry.SpanArg{Key: "span", Value: formatID(uint64(s.ID))},
+			telemetry.SpanArg{Key: "parent", Value: formatID(uint64(s.Parent))},
+			telemetry.SpanArg{Key: "status", Value: statusOr(s.Status)},
+		)
+		if s.Parent == 0 && job != "" {
+			ev.Args = append(ev.Args, telemetry.SpanArg{Key: "job", Value: job})
+		}
+		for _, a := range s.Attrs {
+			ev.Args = append(ev.Args, telemetry.SpanArg{Key: a.Key, Value: a.Value})
+		}
+		tr.Spans = append(tr.Spans, ev)
+	}
+	return tr
+}
+
+func statusOr(s string) string {
+	if s == "" {
+		return SpanAborted // exporting an open span only happens on abandonment
+	}
+	return s
+}
+
+func formatID(v uint64) string {
+	// strconv would be fine; a tiny local keeps span.go free of fmt.
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+func max64(v, min time.Duration) time.Duration {
+	if v < min {
+		return min
+	}
+	return v
+}
+
+// assignRows computes one track row per span (see TraceRun). Spans are
+// processed in ID order (monotone start offsets), so the assignment is
+// a pure function of the span list.
+func assignRows(spans []Span) []int {
+	rowOf := make(map[SpanID]int, len(spans))
+	// rows[r] holds the intervals already placed on row r+1.
+	type iv struct{ start, end time.Duration }
+	var rows [][]iv
+	fits := func(r int, s Span) bool {
+		for _, p := range rows[r] {
+			se := s.End()
+			disjoint := se <= p.start || s.Start >= p.end
+			contains := s.Start <= p.start && p.end <= se
+			contained := p.start <= s.Start && se <= p.end
+			if !disjoint && !contains && !contained {
+				return false
+			}
+		}
+		return true
+	}
+	out := make([]int, len(spans))
+	for i, s := range spans {
+		start := 0
+		if r, ok := rowOf[s.Parent]; ok {
+			start = r - 1
+		}
+		r := start
+		for {
+			if r == len(rows) {
+				rows = append(rows, nil)
+			}
+			if fits(r, s) {
+				break
+			}
+			r++
+		}
+		rows[r] = append(rows[r], iv{s.Start, s.End()})
+		rowOf[s.ID] = r + 1
+		out[i] = r + 1
+	}
+	return out
+}

@@ -1,0 +1,26 @@
+//go:build !race
+
+package obs
+
+import "testing"
+
+// TestDisabledSpanOverhead enforces the span probe's cost contract,
+// mirroring telemetry's TestDisabledProbeOverhead: Start on a nil
+// JobTrace — the state every harness runs in outside bbserve — must
+// cost under 2 ns per call, i.e. stay an inlined nil check.
+//
+// Excluded under the race detector (instrumentation multiplies call
+// cost) and in -short mode (timing is meaningless on shared CI
+// executors, where the benchmark itself still runs).
+func TestDisabledSpanOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing assertion skipped in -short mode")
+	}
+	res := testing.Benchmark(BenchmarkSpanDisabled)
+	if ns := float64(res.T.Nanoseconds()) / float64(res.N); ns >= 2 {
+		t.Errorf("disabled Start costs %.2f ns/op, want < 2 (inlined nil check)", ns)
+	}
+	if res.AllocsPerOp() != 0 {
+		t.Errorf("disabled Start allocates %d/op, want 0", res.AllocsPerOp())
+	}
+}

@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// fixedTrace returns a JobTrace whose clock advances `step` on every
+// read, so span offsets and durations are exact in assertions.
+func fixedTrace(job string, step time.Duration) *JobTrace {
+	t := &JobTrace{job: job}
+	tick := time.Unix(100, 0)
+	t.now = func() time.Time {
+		tick = tick.Add(step)
+		return tick
+	}
+	t.born = t.now()
+	return t
+}
+
+func TestSpanTree(t *testing.T) {
+	tr := fixedTrace("job-1", time.Millisecond)
+	root := tr.Start(0, "job")
+	child := tr.Start(root, "queue_wait")
+	tr.Annotate(child, "depth", "3")
+	if d := tr.End(child); d != time.Millisecond {
+		t.Errorf("child duration = %v, want 1ms", d)
+	}
+	fail := tr.Start(root, "run")
+	tr.Fail(fail, errors.New("boom"))
+	tr.End(root)
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	if spans[0].Name != "job" || spans[0].Parent != 0 || spans[0].Status != SpanOK {
+		t.Errorf("root span = %+v", spans[0])
+	}
+	if spans[1].Parent != root || spans[1].Attrs[0] != (SpanAttr{"depth", "3"}) {
+		t.Errorf("child span = %+v", spans[1])
+	}
+	if spans[2].Status != SpanError || spans[2].Attrs[0] != (SpanAttr{"error", "boom"}) {
+		t.Errorf("failed span = %+v", spans[2])
+	}
+	// Double-End keeps the first outcome.
+	if d := tr.End(fail); d != 0 {
+		t.Errorf("re-End returned %v, want 0", d)
+	}
+	if got := tr.Spans()[2].Status; got != SpanError {
+		t.Errorf("re-End changed status to %q", got)
+	}
+}
+
+func TestSpanAbort(t *testing.T) {
+	tr := fixedTrace("job-2", time.Millisecond)
+	root := tr.Start(0, "job")
+	done := tr.Start(root, "spool")
+	tr.End(done)
+	open := tr.Start(root, "run")
+	tr.Abort()
+	spans := tr.Spans()
+	if spans[0].Status != SpanAborted || spans[int(open)-1].Status != SpanAborted {
+		t.Errorf("open spans not aborted: %+v", spans)
+	}
+	if spans[int(done)-1].Status != SpanOK {
+		t.Errorf("closed span rewritten by Abort: %+v", spans[int(done)-1])
+	}
+	for _, s := range spans {
+		if s.Dur < 0 {
+			t.Errorf("span %q has negative duration %v", s.Name, s.Dur)
+		}
+	}
+}
+
+func TestNilJobTraceSafe(t *testing.T) {
+	var tr *JobTrace
+	id := tr.Start(0, "x")
+	if id != 0 {
+		t.Errorf("nil Start = %d, want 0", id)
+	}
+	tr.Annotate(id, "k", "v")
+	tr.End(id)
+	tr.Fail(id, errors.New("x"))
+	tr.Abort()
+	if tr.Enabled() || tr.Job() != "" || tr.Spans() != nil {
+		t.Error("nil trace leaked state")
+	}
+	run := tr.TraceRun("svc")
+	if len(run.Spans) != 0 || run.FreqMHz != 1000 {
+		t.Errorf("nil TraceRun = %+v", run)
+	}
+}
+
+// TestTraceRunRows pins the deterministic lane assignment: sequential
+// children share their parent's neighborhood, overlapping siblings are
+// pushed to distinct rows, and the exported args carry span/parent IDs.
+func TestTraceRunRows(t *testing.T) {
+	tr := &JobTrace{job: "job-3"}
+	mk := func(parent SpanID, name string, start, dur time.Duration) SpanID {
+		tr.spans = append(tr.spans, Span{
+			ID: SpanID(len(tr.spans) + 1), Parent: parent, Name: name,
+			Start: start, Dur: dur, Status: SpanOK,
+		})
+		return SpanID(len(tr.spans))
+	}
+	root := mk(0, "job", 0, 100)
+	run := mk(root, "run", 10, 80)
+	mk(run, "simulate/a", 20, 40) // overlaps simulate/b
+	mk(run, "simulate/b", 30, 40)
+	mk(run, "write", 80, 5) // disjoint from both simulates
+
+	out := tr.TraceRun("svc")
+	tids := make(map[string]int)
+	for _, s := range out.Spans {
+		tids[s.Name] = s.TID
+	}
+	if tids["job"] != 1 || tids["run"] != 1 {
+		t.Errorf("nested chain should share row 1: %v", tids)
+	}
+	if tids["simulate/a"] == tids["simulate/b"] {
+		t.Errorf("overlapping siblings share row: %v", tids)
+	}
+	if tids["write"] != tids["simulate/a"] {
+		t.Errorf("disjoint span should reuse first row: %v", tids)
+	}
+	// Root carries the job ID; every span carries its IDs and status.
+	rootArgs := out.Spans[0].Args
+	found := false
+	for _, a := range rootArgs {
+		if a.Key == "job" && a.Value == "job-3" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("root span missing job arg: %+v", rootArgs)
+	}
+	if a := out.Spans[1].Args; a[0] != (telemetry.SpanArg{Key: "span", Value: "2"}) ||
+		a[1] != (telemetry.SpanArg{Key: "parent", Value: "1"}) ||
+		a[2] != (telemetry.SpanArg{Key: "status", Value: "ok"}) {
+		t.Errorf("span args = %+v", a)
+	}
+}
+
+// TestTraceRunRendersAsChromeJSON pushes a small tree through the real
+// writer and checks the spans land as ph:"X" slices in the output.
+func TestTraceRunRendersAsChromeJSON(t *testing.T) {
+	tr := fixedTrace("job-4", time.Microsecond)
+	root := tr.Start(0, "job")
+	tr.End(tr.Start(root, "spool"))
+	tr.End(root)
+	var sb strings.Builder
+	if err := telemetry.WriteChromeTrace(&sb, []telemetry.TraceRun{tr.TraceRun("bbserve job-4")}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`"ph":"X"`, `"name":"spool"`, `"job":"job-4"`, `"status":"ok"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chrome trace missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestJobTraceConcurrent(t *testing.T) {
+	tr := NewJobTrace("job-c")
+	root := tr.Start(0, "job")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				id := tr.Start(root, "cell")
+				tr.Annotate(id, "k", "v")
+				tr.End(id)
+			}
+		}()
+	}
+	wg.Wait()
+	tr.End(root)
+	if got := len(tr.Spans()); got != 1+8*200 {
+		t.Errorf("got %d spans, want %d", got, 1+8*200)
+	}
+}
+
+func BenchmarkSpanDisabled(b *testing.B) {
+	var tr *JobTrace
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkSpan = tr.Start(sinkSpan, "x")
+	}
+}
+
+var sinkSpan SpanID

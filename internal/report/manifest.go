@@ -66,6 +66,14 @@ type Session struct {
 	CPUs     int    `json:"cpus"`
 	Started  string `json:"started"` // RFC 3339
 	WallMS   int64  `json:"wall_ms"`
+
+	// Service correlation, stamped by bbserve so a run directory can be
+	// traced back to the originating request: the content-addressed job
+	// ID and the client's optional Idempotency-Key header. Volatile by
+	// definition — the same deterministic results can be produced by many
+	// requests — so they live here, not in the manifest.
+	JobID          string `json:"job_id,omitempty"`
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
 }
 
 // New returns a manifest for one experiment, stamping the toolchain and

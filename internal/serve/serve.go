@@ -30,6 +30,7 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -38,6 +39,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/obs"
 	"repro/internal/report"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/tracecodec"
 )
@@ -101,14 +103,43 @@ type job struct {
 	Design      string // "all" or one config.Design name
 	Bench       string
 	Accesses    uint64 // 0 replays the whole trace
+	IdemKey     string // client-supplied Idempotency-Key header, if any
 	TraceSHA256 string
 	TracePath   string
 	Dir         string
 
-	state string
+	// Trace is the job's span tree; rootSpan covers submit-to-artifacts
+	// (the e2e latency) and queueSpan the accepted-to-worker wait.
+	Trace     *obs.JobTrace
+	rootSpan  obs.SpanID
+	queueSpan obs.SpanID
+
+	state  string
 	errMsg string
-	done  chan struct{}
+	done   chan struct{}
+
+	// SSE progress log: append-only events plus a broadcast channel that
+	// is closed and replaced on every append, so any number of
+	// subscribers replay history and then wake on each change.
+	events []ProgressEvent
+	evch   chan struct{}
 }
+
+// ProgressEvent is one structured progress record streamed over the
+// job's SSE endpoint. States advance queued → decoding → simulating →
+// done|failed; simulating events carry the sweep's live gauges.
+type ProgressEvent struct {
+	Seq          int    `json:"seq"`
+	State        string `json:"state"`
+	CellsDone    uint64 `json:"cells_done"`
+	CellsPlanned uint64 `json:"cells_planned"`
+	Accesses     uint64 `json:"accesses"`
+	Error        string `json:"error,omitempty"`
+}
+
+// ServiceTraceName is the exported span-tree artifact written into every
+// executed job's run directory (Chrome trace_event JSON).
+const ServiceTraceName = "service_trace.json"
 
 // JobStatus is the JSON body of submit and poll responses.
 type JobStatus struct {
@@ -165,19 +196,37 @@ func (s *Server) Simulations() uint64 { return s.sims.Load() }
 // Handler returns the service's HTTP mux.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	// Submission is content-addressed and therefore idempotent, so both
+	// POST and PUT are accepted — `curl -T trace URL` issues PUT.
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("PUT /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/files/{name}", s.handleFile)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		s.mu.Lock()
-		draining := s.draining
-		s.mu.Unlock()
-		if draining {
-			http.Error(w, "draining", http.StatusServiceUnavailable)
-			return
-		}
+	// Liveness vs readiness: /livez answers 200 as long as the process
+	// serves HTTP at all (restart me only if this fails); /readyz answers
+	// 200 only while the worker fleet accepts jobs — before Start and
+	// during drain it returns 503 so a load balancer stops routing
+	// submissions that would only collect 429s/503s. /healthz stays as a
+	// readiness alias for existing probes.
+	mux.HandleFunc("GET /livez", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	ready := func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		started, draining := s.started, s.draining
+		s.mu.Unlock()
+		switch {
+		case draining:
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+		case !started:
+			http.Error(w, "starting", http.StatusServiceUnavailable)
+		default:
+			fmt.Fprintln(w, "ok")
+		}
+	}
+	mux.HandleFunc("GET /readyz", ready)
+	mux.HandleFunc("GET /healthz", ready)
 	if s.Obs != nil {
 		mux.Handle("GET /metrics", s.Obs.Handler())
 	}
@@ -205,8 +254,67 @@ func (s *Server) Drain(ctx context.Context) error {
 	case <-idle:
 		return nil
 	case <-ctx.Done():
+		// The drain deadline expired with jobs still in flight: their
+		// workers are being abandoned, so flush every non-terminal span
+		// tree now (marked aborted) — a killed job's partial trace is
+		// exactly the evidence an operator needs, and losing it silently
+		// was the old behavior.
+		s.flushAborted()
 		return ctx.Err()
 	}
+}
+
+// flushAborted writes the span trees of all non-terminal jobs to their
+// run directories, each span still open marked aborted, with a minimal
+// manifest hashing the trace artifact. Best-effort by design: it runs
+// on the way out of a failed drain.
+func (s *Server) flushAborted() {
+	s.mu.Lock()
+	var pending []*job
+	for _, j := range s.jobs {
+		if j.state != stateDone && j.state != stateFailed && j.Trace != nil {
+			pending = append(pending, j)
+		}
+	}
+	s.mu.Unlock()
+	for _, j := range pending {
+		j.Trace.Abort()
+		if err := s.writeServiceTrace(j); err != nil {
+			s.logf("abort flush failed", "job", j.ID, "err", err.Error())
+			continue
+		}
+		m := report.New("bbserve", "replay/"+j.Bench, s.Harness.Scale, j.Accesses, s.Harness.TelemetryEpoch)
+		m.Flags = map[string]string{
+			"design":       j.Design,
+			"bench":        j.Bench,
+			"trace_sha256": j.TraceSHA256,
+		}
+		if err := m.AddOutput(j.Dir, ServiceTraceName, "trace"); err == nil {
+			err = m.Write(j.Dir)
+			if err != nil {
+				s.logf("abort flush manifest failed", "job", j.ID, "err", err.Error())
+			}
+		}
+		s.logf("aborted trace flushed", "job", j.ID, "state", j.state)
+	}
+}
+
+// writeServiceTrace exports the job's span tree as Chrome trace_event
+// JSON into its run directory.
+func (s *Server) writeServiceTrace(j *job) error {
+	if err := os.MkdirAll(j.Dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(j.Dir, ServiceTraceName))
+	if err != nil {
+		return err
+	}
+	run := j.Trace.TraceRun("bbserve job " + j.ID)
+	if err := telemetry.WriteChromeTrace(f, []telemetry.TraceRun{run}); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func (s *Server) logf(msg string, args ...any) {
@@ -215,10 +323,44 @@ func (s *Server) logf(msg string, args ...any) {
 	}
 }
 
+// appendEventLocked records one progress event and wakes SSE
+// subscribers; the caller holds s.mu.
+func (s *Server) appendEventLocked(j *job, state string, snap *obs.Snapshot, errMsg string) {
+	ev := ProgressEvent{Seq: len(j.events) + 1, State: state, Error: errMsg}
+	if snap != nil {
+		ev.CellsDone = snap.Done
+		ev.CellsPlanned = snap.Planned
+		ev.Accesses = snap.Accesses
+	}
+	j.events = append(j.events, ev)
+	close(j.evch)
+	j.evch = make(chan struct{})
+}
+
+// jobProgress is the per-job sweep's OnUpdate hook: every cell
+// completion becomes one "simulating" SSE event carrying the live
+// gauges.
+func (s *Server) jobProgress(j *job, snap obs.Snapshot) {
+	s.mu.Lock()
+	s.appendEventLocked(j, "simulating", &snap, "")
+	s.mu.Unlock()
+	s.logf("job progress", "job", j.ID, "state", "simulating",
+		"cells_done", snap.Done, "cells_planned", snap.Planned, "accesses", snap.Accesses)
+}
+
 // handleSubmit spools the posted trace while hashing it, derives the
 // content-addressed job ID, and either joins an existing job (cache
 // hit), enqueues a new one, or refuses with backpressure.
+//
+// The job's span tree starts here: the root "job" span opens on entry
+// (it becomes the end-to-end latency), with spool and cache_lookup as
+// its first children. The trace is born before the content-addressed ID
+// exists and named via SetJob once the body digest is known; requests
+// that do not produce a new job (bad input, cache hit, backpressure)
+// simply drop it.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	tr := obs.NewJobTrace("")
+	root := tr.Start(0, "job")
 	design := r.URL.Query().Get("design")
 	if design == "" {
 		design = "all"
@@ -247,13 +389,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	// Spool the body to disk while hashing: the trace may be larger than
 	// memory and arrive chunked, and its digest is the cache key.
+	spoolSpan := tr.Start(root, "spool")
 	digest, spool, err := s.spoolBody(w, r)
 	if err != nil {
 		// spoolBody already answered.
 		return
 	}
+	tr.End(spoolSpan)
 	id := jobID(digest, design, bench, accesses, s.Harness.Scale)
+	tr.SetJob(id)
 
+	lookSpan := tr.Start(root, "cache_lookup")
 	s.mu.Lock()
 	if existing, ok := s.jobs[id]; ok {
 		st := s.statusLocked(existing, true)
@@ -270,14 +416,21 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
+	tr.Annotate(lookSpan, "hit", "false")
+	tr.End(lookSpan)
 	j := &job{
 		ID: id, Design: design, Bench: bench, Accesses: accesses,
+		IdemKey:     r.Header.Get("Idempotency-Key"),
 		TraceSHA256: digest,
 		TracePath:   filepath.Join(s.tracesDir(), id+".trace"),
 		Dir:         filepath.Join(s.runsDir(), id),
+		Trace:       tr,
+		rootSpan:    root,
 		state:       stateQueued,
 		done:        make(chan struct{}),
+		evch:        make(chan struct{}),
 	}
+	j.queueSpan = tr.Start(root, "queue_wait")
 	select {
 	case s.queue <- j:
 	default:
@@ -288,16 +441,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusTooManyRequests, "job queue full (%d queued); retry later", s.QueueDepth)
 		return
 	}
+	tr.Annotate(j.queueSpan, "depth", strconv.Itoa(len(s.queue)))
 	if err := os.Rename(spool, j.TracePath); err != nil {
 		// The worker will fail the job when it cannot open the trace;
 		// refusing here would leave a phantom queue entry.
 		s.logf("spool rename failed", "job", id, "err", err.Error())
 	}
 	s.jobs[id] = j
+	s.appendEventLocked(j, stateQueued, nil, "")
 	st := s.statusLocked(j, false)
 	s.mu.Unlock()
 	s.Obs.JobQueued()
-	s.logf("job queued", "job", id, "design", design, "bench", bench, "accesses", accesses)
+	s.logf("job queued", "job", id, "span", uint64(root),
+		"design", design, "bench", bench, "accesses", accesses, "idempotency_key", j.IdemKey)
 	writeJSON(w, http.StatusAccepted, st)
 }
 
@@ -361,6 +517,60 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
+// handleEvents streams a job's progress log as Server-Sent Events: the
+// full history first (late subscribers replay everything, including
+// already-finished jobs), then live events until the job reaches a
+// terminal state or the client disconnects. Each event is rendered as
+// `event: <state>` plus a JSON data line.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	fl, canFlush := w.(http.Flusher)
+	if !canFlush {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	sent := 0
+	for {
+		s.mu.Lock()
+		evs := append([]ProgressEvent(nil), j.events[sent:]...)
+		ch := j.evch
+		finished := (j.state == stateDone || j.state == stateFailed) &&
+			sent+len(evs) == len(j.events)
+		s.mu.Unlock()
+		for _, ev := range evs {
+			b, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.State, b); err != nil {
+				return
+			}
+		}
+		sent += len(evs)
+		if len(evs) > 0 {
+			fl.Flush()
+		}
+		if finished {
+			return
+		}
+		select {
+		case <-ch:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
 // handleFile serves one result file of a completed job.
 func (s *Server) handleFile(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
@@ -408,37 +618,64 @@ func (s *Server) worker() {
 	defer s.wg.Done()
 	for j := range s.queue {
 		s.Obs.JobStarted()
+		qwait := j.Trace.End(j.queueSpan)
+		s.Obs.ObservePhase(obs.PhaseQueueWait, qwait)
 		s.mu.Lock()
 		j.state = stateRunning
+		s.appendEventLocked(j, "decoding", nil, "")
 		s.mu.Unlock()
+		s.logf("job running", "job", j.ID, "span", uint64(j.rootSpan),
+			"queue_wait_ms", qwait.Milliseconds())
 		if hold := s.holdJobs; hold != nil {
 			<-hold // test hook: park the worker with the job marked running
 		}
 		err := s.runJob(j)
+		errMsg := ""
+		if err != nil {
+			errMsg = err.Error()
+		}
 		s.mu.Lock()
 		if err != nil {
-			j.state, j.errMsg = stateFailed, err.Error()
+			j.state, j.errMsg = stateFailed, errMsg
+			s.appendEventLocked(j, stateFailed, nil, errMsg)
 		} else {
 			j.state = stateDone
+			s.appendEventLocked(j, stateDone, nil, "")
 		}
 		s.mu.Unlock()
 		close(j.done)
 		s.Obs.JobDone(err != nil)
 		if err != nil {
-			s.logf("job failed", "job", j.ID, "err", err.Error())
+			s.logf("job failed", "job", j.ID, "span", uint64(j.rootSpan), "err", errMsg)
 		} else {
-			s.logf("job done", "job", j.ID)
+			s.logf("job done", "job", j.ID, "span", uint64(j.rootSpan))
 		}
 	}
 }
 
 // runJob replays the job's trace on its design selection and writes the
-// manifest-verified run directory.
+// manifest-verified run directory: runs.csv, the span-tree
+// service_trace.json, the manifest hashing both, and session.json.
+//
+// Span bookkeeping: the "run" span opens here under the job root and
+// every phase nests below it — decode spans from the open closure,
+// simulate spans from the harness, the artifact "write" span. The run
+// and root spans are closed (and the e2e histogram observed) *before*
+// the trace is exported, so the artifact always holds a complete tree
+// and the manifest can hash it; only the manifest and session writes
+// themselves happen off-trace.
 func (s *Server) runJob(j *job) error {
 	start := time.Now()
 	s.sims.Add(1)
+	tr := j.Trace
+	runSpan := tr.Start(j.rootSpan, "run")
 	h := *s.Harness
 	h.Accesses = j.Accesses
+	h.Spans = tr
+	h.SpanParent = runSpan
+	sw := obs.NewSweep("job " + j.ID)
+	sw.OnUpdate = func(snap obs.Snapshot) { s.jobProgress(j, snap) }
+	h.Obs = sw
 	designs := harness.AllDesigns
 	if j.Design != "all" {
 		designs = []config.Design{config.Design(j.Design)}
@@ -458,8 +695,11 @@ func (s *Server) runJob(j *job) error {
 		fmu.Unlock()
 	}()
 	open := func() (trace.Stream, error) {
+		sp := tr.Start(runSpan, "decode")
+		t0 := time.Now()
 		f, err := os.Open(j.TracePath)
 		if err != nil {
+			tr.Fail(sp, err)
 			return nil, err
 		}
 		fmu.Lock()
@@ -467,27 +707,50 @@ func (s *Server) runJob(j *job) error {
 		fmu.Unlock()
 		r, err := tracecodec.Open(f)
 		if err != nil {
+			tr.Fail(sp, err)
 			return nil, err
 		}
+		tr.End(sp)
+		s.Obs.ObservePhase(obs.PhaseDecode, time.Since(t0))
 		return tracecodec.NewStream(r), nil
 	}
 	runs, err := h.ReplaySweep(designs, j.Bench, open)
 	if err != nil {
+		s.finishJobSpans(j, runSpan, err)
 		return err
+	}
+	// The simulate phase histogram is fed from the span tree itself, so
+	// /metrics quantiles and the exported trace cannot disagree.
+	for _, sp := range tr.Spans() {
+		if strings.HasPrefix(sp.Name, "simulate/") && sp.Status == obs.SpanOK {
+			s.Obs.ObservePhase(obs.PhaseSimulate, sp.Dur)
+		}
 	}
 
-	if err := os.MkdirAll(j.Dir, 0o755); err != nil {
-		return err
-	}
-	rf, err := os.Create(filepath.Join(j.Dir, "runs.csv"))
+	ws := tr.Start(runSpan, "write")
+	err = func() error {
+		if err := os.MkdirAll(j.Dir, 0o755); err != nil {
+			return err
+		}
+		rf, err := os.Create(filepath.Join(j.Dir, "runs.csv"))
+		if err != nil {
+			return err
+		}
+		if err := harness.WriteRunsCSV(rf, runs); err != nil {
+			rf.Close()
+			return err
+		}
+		return rf.Close()
+	}()
 	if err != nil {
+		tr.Fail(ws, err)
+		s.finishJobSpans(j, runSpan, err)
 		return err
 	}
-	if err := harness.WriteRunsCSV(rf, runs); err != nil {
-		rf.Close()
-		return err
-	}
-	if err := rf.Close(); err != nil {
+	tr.End(ws)
+	s.finishJobSpans(j, runSpan, nil)
+
+	if err := s.writeServiceTrace(j); err != nil {
 		return err
 	}
 	m := report.New("bbserve", "replay/"+j.Bench, h.Scale, j.Accesses, h.TelemetryEpoch)
@@ -499,16 +762,43 @@ func (s *Server) runJob(j *job) error {
 	if err := m.AddOutput(j.Dir, "runs.csv", "runs"); err != nil {
 		return err
 	}
+	if err := m.AddOutput(j.Dir, ServiceTraceName, "trace"); err != nil {
+		return err
+	}
 	if err := m.Write(j.Dir); err != nil {
 		return err
 	}
 	sess := report.Session{
-		Parallel: h.Parallel,
-		CPUs:     runtime.NumCPU(),
-		Started:  start.UTC().Format(time.RFC3339),
-		WallMS:   time.Since(start).Milliseconds(),
+		Parallel:       h.Parallel,
+		CPUs:           runtime.NumCPU(),
+		Started:        start.UTC().Format(time.RFC3339),
+		WallMS:         time.Since(start).Milliseconds(),
+		JobID:          j.ID,
+		IdempotencyKey: j.IdemKey,
 	}
 	return sess.Write(j.Dir)
+}
+
+// finishJobSpans closes the run and root spans with the sweep's outcome
+// and observes the end-to-end latency (the root span's full life, from
+// submit entry to artifacts written). On failure the partial span tree
+// is still exported best-effort so a failed job leaves evidence.
+func (s *Server) finishJobSpans(j *job, runSpan obs.SpanID, err error) {
+	tr := j.Trace
+	var e2e time.Duration
+	if err != nil {
+		tr.Fail(runSpan, err)
+		e2e = tr.Fail(j.rootSpan, err)
+	} else {
+		tr.End(runSpan)
+		e2e = tr.End(j.rootSpan)
+	}
+	s.Obs.ObservePhase(obs.PhaseE2E, e2e)
+	if err != nil {
+		if werr := s.writeServiceTrace(j); werr != nil {
+			s.logf("service trace write failed", "job", j.ID, "err", werr.Error())
+		}
+	}
 }
 
 // writeJSON renders v with the usual headers.

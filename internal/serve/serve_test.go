@@ -140,7 +140,7 @@ func TestJobLifecycle(t *testing.T) {
 		t.Fatalf("submit = %+v, want fresh queued job", st)
 	}
 	final := waitDone(t, ts, st.ID)
-	want := []string{"manifest.json", "runs.csv", "session.json"}
+	want := []string{"manifest.json", "runs.csv", "service_trace.json", "session.json"}
 	if len(final.Files) != len(want) {
 		t.Fatalf("files = %v, want %v", final.Files, want)
 	}
@@ -186,7 +186,7 @@ func TestCacheHitDeterminism(t *testing.T) {
 		t.Fatalf("simulations after first job = %d, want 1", got)
 	}
 	first := map[string][]byte{}
-	for _, n := range []string{"runs.csv", "manifest.json"} {
+	for _, n := range []string{"runs.csv", "manifest.json", "service_trace.json"} {
 		first[n] = fetch(t, ts, st1.ID, n)
 	}
 
@@ -392,5 +392,301 @@ func TestBadRequests(t *testing.T) {
 			t.Fatalf("torn-trace job still %s", js.Status)
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// readEvents consumes a job's SSE stream to completion and returns the
+// event states in arrival order plus the decoded payloads.
+func readEvents(t *testing.T, ts *httptest.Server, id string) ([]string, []ProgressEvent) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events status = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body) // the handler closes after the terminal event
+	if err != nil {
+		t.Fatal(err)
+	}
+	var states []string
+	var events []ProgressEvent
+	for _, line := range bytes.Split(body, []byte("\n")) {
+		if rest, ok := bytes.CutPrefix(line, []byte("event: ")); ok {
+			states = append(states, string(rest))
+		}
+		if rest, ok := bytes.CutPrefix(line, []byte("data: ")); ok {
+			var ev ProgressEvent
+			if err := json.Unmarshal(rest, &ev); err != nil {
+				t.Fatalf("bad event payload %q: %v", rest, err)
+			}
+			events = append(events, ev)
+		}
+	}
+	return states, events
+}
+
+// TestEventsAndServiceTrace covers the tentpole end to end: the SSE
+// stream replays an ordered queued → decoding → simulating → done
+// sequence, the exported service_trace.json holds the full span tree
+// under the job's correlation ID, session.json carries the job and
+// idempotency identities, and the /metrics e2e histogram counted the
+// job.
+func TestEventsAndServiceTrace(t *testing.T) {
+	srv, ts := newTestServer(t, nil)
+	req, err := http.NewRequest("POST", ts.URL+"/v1/jobs?design=bumblebee&bench=fixture",
+		bytes.NewReader(fixtureTrace(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Idempotency-Key", "client-key-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	waitDone(t, ts, st.ID)
+
+	// The stream replays the full ordered history for late subscribers.
+	states, events := readEvents(t, ts, st.ID)
+	var compact []string
+	for _, s := range states {
+		if len(compact) == 0 || compact[len(compact)-1] != s {
+			compact = append(compact, s)
+		}
+	}
+	want := []string{"queued", "decoding", "simulating", "done"}
+	if len(compact) != len(want) {
+		t.Fatalf("event states = %v, want %v (collapsed %v)", compact, want, states)
+	}
+	for i, s := range want {
+		if compact[i] != s {
+			t.Fatalf("event states = %v, want %v", compact, want)
+		}
+	}
+	for i, ev := range events {
+		if ev.Seq != i+1 {
+			t.Fatalf("event %d has seq %d", i, ev.Seq)
+		}
+		if ev.State == "simulating" && (ev.CellsDone == 0 || ev.Accesses == 0) {
+			t.Fatalf("simulating event carries no progress: %+v", ev)
+		}
+	}
+
+	// The exported span tree parses as Chrome trace JSON and covers
+	// every lifecycle phase under the job's correlation ID.
+	raw := fetch(t, ts, st.ID, ServiceTraceName)
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Dur  float64           `json:"dur"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("service trace is not valid JSON: %v", err)
+	}
+	spans := map[string]float64{}
+	var rootDur float64
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		spans[ev.Name] += ev.Dur
+		if ev.Name == "job" {
+			rootDur = ev.Dur
+			if ev.Args["job"] != st.ID {
+				t.Fatalf("root span job arg = %q, want %s", ev.Args["job"], st.ID)
+			}
+			if ev.Args["status"] != "ok" {
+				t.Fatalf("root span status = %q", ev.Args["status"])
+			}
+		}
+	}
+	for _, name := range []string{"job", "spool", "cache_lookup", "queue_wait", "run", "decode", "simulate/bumblebee", "write"} {
+		if _, ok := spans[name]; !ok {
+			t.Fatalf("service trace missing span %q (have %v)", name, spans)
+		}
+	}
+
+	// The root span *is* the e2e sample: the histogram must have counted
+	// exactly this job, with the root duration inside the observed range.
+	h := srv.Obs.PhaseHistogram(obs.PhaseE2E)
+	if h.Count != 1 {
+		t.Fatalf("e2e histogram count = %d, want 1", h.Count)
+	}
+	if us := float64(h.Max) / 1e3; rootDur > us*1.5+1 {
+		t.Fatalf("root span %v µs inconsistent with e2e max %v µs", rootDur, us)
+	}
+	if srv.Obs.PhaseHistogram(obs.PhaseQueueWait).Count != 1 {
+		t.Fatal("queue_wait histogram did not count the job")
+	}
+	if srv.Obs.PhaseHistogram(obs.PhaseSimulate).Count == 0 {
+		t.Fatal("simulate histogram empty")
+	}
+
+	// Session stamps the request correlation identities.
+	var sess report.Session
+	if err := json.Unmarshal(fetch(t, ts, st.ID, "session.json"), &sess); err != nil {
+		t.Fatal(err)
+	}
+	if sess.JobID != st.ID || sess.IdempotencyKey != "client-key-42" {
+		t.Fatalf("session correlation = %q/%q, want %s/client-key-42", sess.JobID, sess.IdempotencyKey, st.ID)
+	}
+
+	// The manifest hashes the trace artifact alongside runs.csv.
+	var m report.Manifest
+	if err := json.Unmarshal(fetch(t, ts, st.ID, "manifest.json"), &m); err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]string{}
+	for _, o := range m.Outputs {
+		kinds[o.Name] = o.Kind
+	}
+	if kinds[ServiceTraceName] != "trace" {
+		t.Fatalf("manifest outputs = %v, want %s with kind trace", kinds, ServiceTraceName)
+	}
+}
+
+// TestLivezReadyz pins the probe split: liveness is unconditional,
+// readiness tracks the fleet accepting jobs (503 before Start and
+// during drain), and /healthz stays a readiness alias.
+func TestLivezReadyz(t *testing.T) {
+	h := harness.New()
+	h.Scale = 128
+	h.Parallel = 1
+	srv := &Server{Harness: h, DataDir: t.TempDir(), Obs: &obs.Service{}}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	status := func(path string) int {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := status("/livez"); got != http.StatusOK {
+		t.Fatalf("pre-start /livez = %d, want 200", got)
+	}
+	if got := status("/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("pre-start /readyz = %d, want 503", got)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"/readyz", "/healthz", "/livez"} {
+		if got := status(p); got != http.StatusOK {
+			t.Fatalf("started %s = %d, want 200", p, got)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := status("/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("draining /readyz = %d, want 503", got)
+	}
+	if got := status("/livez"); got != http.StatusOK {
+		t.Fatalf("draining /livez = %d, want 200", got)
+	}
+}
+
+// TestDrainFlushesAbortedSpans: a drain whose deadline expires with a
+// job still in flight must write that job's partial span tree (spans
+// marked aborted) plus a manifest hashing it — the silent-span-loss fix.
+func TestDrainFlushesAbortedSpans(t *testing.T) {
+	hold := make(chan struct{})
+	srv, ts := newTestServer(t, func(s *Server) {
+		s.Workers = 1
+		s.holdJobs = hold
+	})
+	defer close(hold) // release the worker so the cleanup drain finishes
+	st, _ := submit(t, ts, "design=bumblebee&bench=fixture", fixtureTrace(t))
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.Obs.Snapshot().Active != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never took the job")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := srv.Drain(ctx); err == nil {
+		t.Fatal("drain with a parked worker should time out")
+	}
+
+	dir := filepath.Join(srv.runsDir(), st.ID)
+	raw, err := os.ReadFile(filepath.Join(dir, ServiceTraceName))
+	if err != nil {
+		t.Fatalf("aborted trace not flushed: %v", err)
+	}
+	if !bytes.Contains(raw, []byte(`"status":"aborted"`)) {
+		t.Fatalf("flushed trace has no aborted spans:\n%s", raw)
+	}
+	m, err := report.ReadManifest(dir)
+	if err != nil {
+		t.Fatalf("aborted trace not manifest-hashed: %v", err)
+	}
+	found := false
+	for _, o := range m.Outputs {
+		if o.Name == ServiceTraceName && o.Kind == "trace" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("manifest outputs %v missing %s", m.Outputs, ServiceTraceName)
+	}
+	if errs := m.Verify(dir); len(errs) != 0 {
+		t.Fatalf("flushed manifest does not verify: %v", errs)
+	}
+}
+
+// TestPutSubmission: `curl -T` issues PUT, and submission is
+// content-addressed (idempotent), so PUT must behave exactly like POST
+// — same job ID, cache hit on re-upload.
+func TestPutSubmission(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	tr := fixtureTrace(t)
+	put := func() (JobStatus, int) {
+		req, err := http.NewRequest(http.MethodPut, ts.URL+"/v1/jobs?design=bumblebee&bench=fixture", bytes.NewReader(tr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st, resp.StatusCode
+	}
+	st, code := put()
+	if code != http.StatusAccepted || st.ID == "" {
+		t.Fatalf("PUT: status %d, id %q", code, st.ID)
+	}
+	waitDone(t, ts, st.ID)
+	again, code := put()
+	if code != http.StatusOK || !again.Cached || again.ID != st.ID {
+		t.Fatalf("re-PUT: status %d, cached %v, id %q (want %q)", code, again.Cached, again.ID, st.ID)
+	}
+	post, _ := submit(t, ts, "design=bumblebee&bench=fixture", tr)
+	if post.ID != st.ID || !post.Cached {
+		t.Fatalf("POST after PUT: id %q cached %v, want cache hit on %q", post.ID, post.Cached, st.ID)
 	}
 }

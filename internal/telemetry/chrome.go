@@ -19,6 +19,26 @@ type TraceRun struct {
 	Events       []Event
 	CounterNames []string
 	Counters     []CounterSample
+	Spans        []SpanEvent
+}
+
+// SpanEvent is one completed duration span, rendered as a Chrome
+// trace_event complete ("ph":"X") slice. Start and Dur are in the run's
+// cycle domain (converted via FreqMHz like Events); TID picks the track
+// row — spans that properly nest may share a row, overlapping spans must
+// not. Args are rendered in slice order, so a fixed arg order keeps the
+// output byte-deterministic.
+type SpanEvent struct {
+	Name  string
+	TID   int
+	Start uint64
+	Dur   uint64
+	Args  []SpanArg
+}
+
+// SpanArg is one ordered key/value annotation on a span.
+type SpanArg struct {
+	Key, Value string
 }
 
 // CounterSample is one epoch's counter values, aligned with the owning
@@ -66,6 +86,29 @@ func WriteChromeTrace(w io.Writer, runs []TraceRun) error {
 			bw.WriteString(strconv.FormatUint(e.B, 10))
 			bw.WriteString(`,"c":`)
 			bw.WriteString(strconv.FormatUint(e.C, 10))
+			bw.WriteString("}}")
+		}
+		for _, sp := range r.Spans {
+			comma()
+			bw.WriteString(`{"name":`)
+			bw.WriteString(strconv.Quote(sp.Name))
+			bw.WriteString(`,"cat":"span","ph":"X","ts":`)
+			bw.WriteString(tsMicros(sp.Start, r.FreqMHz))
+			bw.WriteString(`,"dur":`)
+			bw.WriteString(tsMicros(sp.Dur, r.FreqMHz))
+			bw.WriteString(`,"pid":`)
+			bw.WriteString(strconv.Itoa(pid))
+			bw.WriteString(`,"tid":`)
+			bw.WriteString(strconv.Itoa(sp.TID))
+			bw.WriteString(`,"args":{`)
+			for j, a := range sp.Args {
+				if j > 0 {
+					bw.WriteByte(',')
+				}
+				bw.WriteString(strconv.Quote(a.Key))
+				bw.WriteByte(':')
+				bw.WriteString(strconv.Quote(a.Value))
+			}
 			bw.WriteString("}}")
 		}
 		for _, s := range r.Counters {
