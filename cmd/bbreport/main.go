@@ -2,6 +2,7 @@
 // ledgers.
 //
 //	bbreport report runs/a runs/b        # joined Markdown report + anomaly flags
+//	bbreport html -o dash.html runs/a runs/b        # self-contained HTML dashboard
 //	bbreport verify runs/a               # re-hash outputs against manifest.json
 //	bbreport merge -o merged shard1 shard2 shard3   # verified shard merge
 //	bbreport trace runs/<job>/service_trace.json    # critical path + span analysis
@@ -24,6 +25,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/alert"
 	"repro/internal/report"
 )
 
@@ -32,7 +34,7 @@ func main() {
 }
 
 func usage(stderr io.Writer) int {
-	fmt.Fprintln(stderr, "usage: bbreport report|verify|merge|trace|bench [flags] [args]")
+	fmt.Fprintln(stderr, "usage: bbreport report|html|verify|merge|trace|bench [flags] [args]")
 	return 2
 }
 
@@ -44,6 +46,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	switch args[0] {
 	case "report":
 		return runReport(args[1:], stdout, stderr)
+	case "html":
+		return runHTML(args[1:], stdout, stderr)
 	case "verify":
 		return runVerify(args[1:], stdout, stderr)
 	case "merge":
@@ -65,6 +69,7 @@ func runReport(args []string, stdout, stderr io.Writer) int {
 	modeSw := fs.Float64("mode-switch-per-1m", 0, "mode-switch thrashing threshold per 1M accesses (0 picks the default)")
 	plateau := fs.Float64("hot-plateau-share", 0, "hot-table saturation epoch share threshold (0 picks the default)")
 	slo := fs.Uint64("p99-slo", 0, "p99 service-latency SLO in cycles (0 picks the default)")
+	rulesFile := fs.String("rules", "", "alert rule file (JSON); overrides the threshold flags")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -85,6 +90,14 @@ func runReport(args []string, stdout, stderr io.Writer) int {
 		Session: *session,
 		Rules:   report.Rules{ModeSwitchPer1M: *modeSw, HotPlateauShare: *plateau, P99SLOCycles: *slo},
 	}
+	if *rulesFile != "" {
+		rs, err := alert.Load(*rulesFile)
+		if err != nil {
+			fmt.Fprintf(stderr, "bbreport report: -rules: %v\n", err)
+			return 2
+		}
+		opts.RuleSet = &rs
+	}
 	w := stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -97,6 +110,57 @@ func runReport(args []string, stdout, stderr io.Writer) int {
 	}
 	if err := report.WriteMarkdown(w, runs, opts); err != nil {
 		fmt.Fprintf(stderr, "bbreport report: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// runHTML renders run directories into the single-file HTML dashboard:
+// inline SVG sparklines, per-tier latency tables, alert annotations and
+// the cross-design comparison grid, with no external assets — the same
+// byte-determinism contract as `bbreport report`.
+func runHTML(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("html", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("o", "", "write the HTML here instead of stdout")
+	rulesFile := fs.String("rules", "", "alert rule file (JSON); forces recomputation instead of using recorded alerts.json")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "bbreport html: need at least one run directory")
+		return 2
+	}
+	var runs []*report.Run
+	for _, dir := range fs.Args() {
+		r, err := report.LoadRun(dir)
+		if err != nil {
+			fmt.Fprintf(stderr, "bbreport html: %v\n", err)
+			return 1
+		}
+		runs = append(runs, r)
+	}
+	var opts report.Options
+	if *rulesFile != "" {
+		rs, err := alert.Load(*rulesFile)
+		if err != nil {
+			fmt.Fprintf(stderr, "bbreport html: -rules: %v\n", err)
+			return 2
+		}
+		opts.RuleSet = &rs
+	}
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(stderr, "bbreport html: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := report.WriteHTML(w, runs, opts); err != nil {
+		fmt.Fprintf(stderr, "bbreport html: %v\n", err)
 		return 1
 	}
 	return 0
@@ -171,6 +235,7 @@ func runTrace(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	out := fs.String("o", "", "write the Markdown here instead of stdout")
+	rulesFile := fs.String("rules", "", "alert rule file (JSON); overrides the default trace rules")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -197,7 +262,12 @@ func runTrace(args []string, stdout, stderr io.Writer) int {
 		defer f.Close()
 		w = f
 	}
-	if err := report.WriteTraceMarkdown(w, spans); err != nil {
+	rs, err := alert.Load(*rulesFile)
+	if err != nil {
+		fmt.Fprintf(stderr, "bbreport trace: -rules: %v\n", err)
+		return 2
+	}
+	if err := report.WriteTraceMarkdownRules(w, spans, rs); err != nil {
 		fmt.Fprintf(stderr, "bbreport trace: %v\n", err)
 		return 1
 	}

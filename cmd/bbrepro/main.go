@@ -26,6 +26,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/alert"
 	"repro/internal/check"
 	"repro/internal/ckpt"
 	"repro/internal/harness"
@@ -96,9 +97,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bbrepro: %v\n", err)
 		os.Exit(2)
 	}
+	stderrLog := of.Logger(os.Stderr)
 	if *verbose {
-		h.Log = obs.NewRunLogger(os.Stderr)
+		h.Log = stderrLog
 	}
+	rules, err := alert.Load(of.Rules)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bbrepro: -rules: %v\n", err)
+		os.Exit(2)
+	}
+	// The live monitor mirrors what the written alerts.json will hold:
+	// firing transitions log to stderr as the sweep runs and surface as
+	// bb_alerts_* gauges on /metrics.
+	mon := alert.NewMonitor(rules)
+	mon.Log = stderrLog
+	h.Alerts = mon
 
 	if *resume != "" {
 		if *csvDir != "" && *csvDir != *resume {
@@ -126,10 +139,9 @@ func main() {
 	// The sweep tracker feeds /metrics; it is live even without an HTTP
 	// endpoint so that attaching one costs nothing but the flag.
 	sweep := obs.NewSweep(*experiment)
+	sweep.Alerts = mon
 	h.Obs = sweep
-	stderrLog := obs.NewRunLogger(os.Stderr)
 	var srv *obs.Server
-	var err error
 	if *csvDir != "" {
 		// Checkpointed runs own their signal lifecycle: the first
 		// SIGINT/SIGTERM drains in-flight cells so they reach the journal,
@@ -239,6 +251,17 @@ func main() {
 		}
 		return man.AddOutput(*csvDir, name, kind)
 	}
+	// writeAlerts evaluates the rule set over assembled results (matrix
+	// order, independent of scheduling) so alerts.json is byte-identical
+	// at any -parallel value — the live monitor's firing set is proven to
+	// match this evaluation by the harness tests.
+	writeAlerts := func(runs []harness.RunResult) error {
+		if err := alert.WriteJSONFile(*csvDir+"/alerts.json", rules,
+			alert.Evaluate(harness.AlertInput(runs), rules)); err != nil {
+			return err
+		}
+		return record("alerts.json", "alerts")
+	}
 
 	run("table1", func() error {
 		fmt.Println(h.Table1())
@@ -338,6 +361,9 @@ func main() {
 			if err := record("fig8_runs.csv", "runs"); err != nil {
 				return err
 			}
+			if err := writeAlerts(res.PerRun); err != nil {
+				return err
+			}
 			if of.TelemetryEpoch > 0 {
 				if err := writeCSV(*csvDir+"/runs_timeline.csv", func(w *os.File) error {
 					return harness.WriteTimelineCSV(w, res.PerRun)
@@ -408,7 +434,10 @@ func main() {
 				}); err != nil {
 					return err
 				}
-				return record("figfault_sweep.csv", "sweep")
+				if err := record("figfault_sweep.csv", "sweep"); err != nil {
+					return err
+				}
+				return writeAlerts(res.PerRun)
 			}
 			return nil
 		})

@@ -31,6 +31,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/alert"
 	"repro/internal/config"
 	"repro/internal/harness"
 	"repro/internal/obs"
@@ -52,11 +53,17 @@ func main() {
 	timeout := fs.Duration("timeout", 10*time.Minute, "per-design cell deadline within a job (0 disables)")
 	var of obs.Flags
 	of.RegisterServe(fs)
+	of.RegisterLog(fs)
+	of.RegisterAlert(fs)
 	fs.Parse(os.Args[1:])
 	if err := of.Validate(); err != nil {
 		log.Fatalf("bbserve: %v", err)
 	}
-	logger := obs.NewRunLogger(os.Stderr)
+	logger := of.Logger(os.Stderr)
+	rules, err := alert.Load(of.Rules)
+	if err != nil {
+		log.Fatalf("bbserve: %v", err)
+	}
 
 	h := harness.New()
 	h.Scale = *scale
@@ -73,6 +80,7 @@ func main() {
 		Workers:    *workers,
 		Log:        logger,
 		Obs:        svc,
+		Rules:      rules,
 	}
 	if err := srv.Start(); err != nil {
 		log.Fatalf("bbserve: %v", err)

@@ -23,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/alert"
 	"repro/internal/cache"
 	"repro/internal/ckpt"
 	"repro/internal/config"
@@ -88,11 +89,21 @@ func main() {
 		}
 		*ckptDir = *resumeDir
 	}
+	stderrLog := of.Logger(os.Stderr)
+	rules, err := alert.Load(of.Rules)
+	if err != nil {
+		log.Fatalf("bumblebee-sim: -rules: %v", err)
+	}
+	// Matrix sweeps get the live monitor (firing transitions log to
+	// stderr and surface as bb_alerts_* gauges on /metrics); single runs
+	// evaluate the rule set once, post-run, when -rules is given.
+	mon := alert.NewMonitor(rules)
+	mon.Log = stderrLog
+	h.Alerts = mon
 	sweep := obs.NewSweep("sim")
+	sweep.Alerts = mon
 	h.Obs = sweep
-	stderrLog := obs.NewRunLogger(os.Stderr)
 	var srv *obs.Server
-	var err error
 	if *ckptDir != "" {
 		// Checkpointed runs drain on the first signal so in-flight cells
 		// reach the journal; see bbrepro for the same lifecycle.
@@ -307,6 +318,17 @@ func main() {
 		fmt.Printf("     throttled      %10d\n", cnt.ThrottledAccesses)
 		fmt.Printf("     retire: %d migrations, %d drops, %d deferred\n",
 			cnt.RetireMigrations, cnt.RetireDrops, cnt.RetireDeferred)
+	}
+
+	// A single run is not a sweep cell, so the monitor never saw it;
+	// evaluate the rule set directly when one was supplied, keeping the
+	// default stdout contract untouched.
+	if of.Rules != "" {
+		rr := harness.RunResult{Design: mem.Name(), Bench: label, Counters: cnt, Telemetry: runTel}
+		for _, a := range alert.Evaluate(harness.AlertInput([]harness.RunResult{rr}), rules) {
+			stderrLog.Warn("alert firing", "rule", a.Rule, "severity", string(a.Severity),
+				"design", a.Design, "bench", a.Bench, "detail", a.Detail)
+		}
 	}
 
 	if bb, ok := mem.(*core.Bumblebee); ok {

@@ -1,0 +1,466 @@
+// Package alert is the declarative SLO rule engine shared by every
+// surface that judges a run: live sweeps (gauges on /metrics and slog
+// events as cells finish), bbserve jobs (SSE alert events and the
+// alerts.json artifact), and post-hoc reporting (bbreport's anomaly
+// sections). One evaluator — Evaluate — serves all three, so a rule
+// can never fire live and stay silent post-hoc or vice versa: both
+// paths hand the same samples to the same pure function.
+//
+// A Rule selects one metric (a model counter rate, a telemetry epoch
+// series shape, a per-tier latency quantile, or a span-phase sum),
+// optionally restricts series metrics to a trailing window of epochs,
+// and fires at a threshold with a severity. The package depends only
+// on the standard library so every layer — obs, harness, serve,
+// report — can import it without cycles.
+package alert
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// Severity ranks a firing alert. The zero value is SevWarn so rule
+// files may omit the field.
+type Severity string
+
+const (
+	SevInfo     Severity = "info"
+	SevWarn     Severity = "warn"
+	SevCritical Severity = "critical"
+)
+
+// valid reports whether s is a recognised severity ("" counts: it
+// normalizes to warn).
+func (s Severity) valid() bool {
+	switch s {
+	case "", SevInfo, SevWarn, SevCritical:
+		return true
+	}
+	return false
+}
+
+// orDefault normalizes the empty severity to warn.
+func (s Severity) orDefault() Severity {
+	if s == "" {
+		return SevWarn
+	}
+	return s
+}
+
+// Metric names. Run-scoped metrics read one RunSample, series metrics
+// read a cell's epoch samples, latency metrics read per-tier
+// histograms, and span metrics read a service trace's span list.
+const (
+	// MetricModeSwitchRate fires when mode switches per million served
+	// accesses exceed the threshold (cHBM/POM thrashing).
+	MetricModeSwitchRate = "mode_switches_per_1m"
+	// MetricHotPlateauShare fires when the hot table sits at its maximum
+	// observed occupancy for at least the threshold share of epochs
+	// (hot-table saturation; needs >= 2 epochs at max).
+	MetricHotPlateauShare = "hot_table_plateau_share"
+	// MetricMoverSkipExcess fires when, at the last epoch, the mover
+	// skipped more migrations than (started + threshold) and skipped at
+	// least one (mover budget exhaustion).
+	MetricMoverSkipExcess = "mover_skip_excess"
+	// MetricP99Cycles fires when a tier's p99 access latency exceeds the
+	// threshold in cycles.
+	MetricP99Cycles = "p99_cycles"
+	// MetricQueueOverSim fires when summed queue_wait span time exceeds
+	// threshold × summed simulate span time.
+	MetricQueueOverSim = "queue_over_simulate"
+	// MetricDecodeOverSim fires when summed decode span time exceeds
+	// threshold × summed simulate span time.
+	MetricDecodeOverSim = "decode_over_simulate"
+	// MetricAdmissionOverSim fires when summed spool + cache_lookup span
+	// time exceeds threshold × summed simulate span time.
+	MetricAdmissionOverSim = "admission_over_simulate"
+	// MetricBadSpans fires when more than threshold spans ended aborted
+	// or in error.
+	MetricBadSpans = "bad_spans"
+)
+
+// knownMetrics lists every metric the evaluator implements.
+var knownMetrics = map[string]bool{
+	MetricModeSwitchRate:   true,
+	MetricHotPlateauShare:  true,
+	MetricMoverSkipExcess:  true,
+	MetricP99Cycles:        true,
+	MetricQueueOverSim:     true,
+	MetricDecodeOverSim:    true,
+	MetricAdmissionOverSim: true,
+	MetricBadSpans:         true,
+}
+
+// Rule is one declarative check: a metric, an optional trailing
+// window (series metrics only; 0 evaluates the whole series), a
+// threshold, and a severity.
+type Rule struct {
+	Name      string   `json:"name"`
+	Metric    string   `json:"metric"`
+	Threshold float64  `json:"threshold"`
+	Window    int      `json:"window,omitempty"`
+	Severity  Severity `json:"severity,omitempty"`
+}
+
+// Validate rejects rules the evaluator would silently ignore.
+func (r Rule) Validate() error {
+	if r.Name == "" {
+		return fmt.Errorf("alert rule: empty name")
+	}
+	if !knownMetrics[r.Metric] {
+		return fmt.Errorf("alert rule %s: unknown metric %q", r.Name, r.Metric)
+	}
+	if !r.Severity.valid() {
+		return fmt.Errorf("alert rule %s: unknown severity %q", r.Name, r.Severity)
+	}
+	if r.Window < 0 {
+		return fmt.Errorf("alert rule %s: negative window %d", r.Name, r.Window)
+	}
+	return nil
+}
+
+// RuleSet is an ordered list of rules. Evaluation preserves rule
+// order, so a set's alert output is stable for a given input.
+type RuleSet struct {
+	Rules []Rule `json:"rules"`
+}
+
+// Validate checks every rule and rejects duplicate names.
+func (rs RuleSet) Validate() error {
+	seen := make(map[string]bool, len(rs.Rules))
+	for _, r := range rs.Rules {
+		if err := r.Validate(); err != nil {
+			return err
+		}
+		if seen[r.Name] {
+			return fmt.Errorf("alert rule %s: duplicate name", r.Name)
+		}
+		seen[r.Name] = true
+	}
+	return nil
+}
+
+// Defaults returns the built-in rule set: the exact checks
+// bbreport's anomaly sections have always applied, now as data. The
+// thresholds match internal/report's historical defaults.
+func Defaults() RuleSet {
+	return RuleSet{Rules: []Rule{
+		{Name: "hot-table-saturation", Metric: MetricHotPlateauShare, Threshold: 0.5, Severity: SevWarn},
+		{Name: "mode-switch-thrashing", Metric: MetricModeSwitchRate, Threshold: 500, Severity: SevWarn},
+		{Name: "mover-budget-exhausted", Metric: MetricMoverSkipExcess, Threshold: 0, Severity: SevWarn},
+		{Name: "p99-slo-breach", Metric: MetricP99Cycles, Threshold: 5000, Severity: SevCritical},
+		{Name: "queue-dominated", Metric: MetricQueueOverSim, Threshold: 1, Severity: SevWarn},
+		{Name: "decode-dominated", Metric: MetricDecodeOverSim, Threshold: 1, Severity: SevWarn},
+		{Name: "admission-dominated", Metric: MetricAdmissionOverSim, Threshold: 1, Severity: SevWarn},
+		{Name: "incomplete-spans", Metric: MetricBadSpans, Threshold: 0, Severity: SevCritical},
+	}}
+}
+
+// RunSample is one completed (design, benchmark) run's counters.
+type RunSample struct {
+	Design       string
+	Bench        string
+	Accesses     uint64 // served accesses (HBM + DRAM)
+	ModeSwitches uint64
+}
+
+// EpochSample is one telemetry epoch snapshot for a cell. The counter
+// fields are cumulative, matching the timeline CSV columns. HasState
+// marks samples from designs that expose hot-table/mover state —
+// series metrics only see those, mirroring the CSV's empty state
+// columns for stateless designs.
+type EpochSample struct {
+	Access       uint64
+	ModeSwitches uint64
+	ServedHBM    uint64
+	ServedDRAM   uint64
+	HotEntries   uint64
+	MoverStarted uint64
+	MoverSkipped uint64
+	HasState     bool
+}
+
+// Series is one cell's epoch samples in access order.
+type Series struct {
+	Design string
+	Bench  string
+	Epochs []EpochSample
+}
+
+// LatencySample is one (design, bench, tier) latency summary.
+type LatencySample struct {
+	Design string
+	Bench  string
+	Tier   string
+	Count  uint64
+	P99    uint64
+	Max    uint64
+}
+
+// Span is one service-trace span (name, wall time, terminal status).
+type Span struct {
+	Name   string
+	DurUS  float64
+	Status string
+}
+
+// Input is everything a rule set can look at. Any field may be empty;
+// rules whose inputs are absent simply do not fire.
+type Input struct {
+	Runs    []RunSample
+	Series  []Series
+	Latency []LatencySample
+	Spans   []Span
+}
+
+// Alert is one firing rule instance.
+type Alert struct {
+	Rule     string   `json:"rule"`
+	Severity Severity `json:"severity"`
+	Design   string   `json:"design,omitempty"`
+	Bench    string   `json:"bench,omitempty"`
+	Detail   string   `json:"detail"`
+
+	// instance disambiguates multiple alerts from one rule on one cell
+	// (e.g. the per-tier p99 rule) for live transition tracking.
+	instance string
+}
+
+// key is the alert's firing identity: detail text evolves as a run
+// progresses, so transitions are tracked on everything else.
+func (a Alert) key() string {
+	return a.Rule + "\x00" + a.Design + "\x00" + a.Bench + "\x00" + a.instance
+}
+
+// f3 formats a float with three decimals, matching the report
+// package's fixed-width float rendering.
+func f3(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+
+// Evaluate runs every rule in rs over in and returns the firing
+// alerts: rules in set order, and within one rule sorted by (design,
+// bench, detail). It is a pure function — the single source of truth
+// for live monitors, service jobs, and post-hoc reports alike.
+func Evaluate(in Input, rs RuleSet) []Alert {
+	var out []Alert
+	for _, r := range rs.Rules {
+		got := evalRule(in, r)
+		sort.SliceStable(got, func(i, j int) bool {
+			a, b := got[i], got[j]
+			if a.Design != b.Design {
+				return a.Design < b.Design
+			}
+			if a.Bench != b.Bench {
+				return a.Bench < b.Bench
+			}
+			return a.Detail < b.Detail
+		})
+		out = append(out, got...)
+	}
+	return out
+}
+
+// evalRule dispatches one rule to its metric's check.
+func evalRule(in Input, r Rule) []Alert {
+	switch r.Metric {
+	case MetricModeSwitchRate:
+		return evalModeSwitchRate(in.Runs, r)
+	case MetricHotPlateauShare:
+		return evalHotPlateau(in.Series, r)
+	case MetricMoverSkipExcess:
+		return evalMoverSkip(in.Series, r)
+	case MetricP99Cycles:
+		return evalP99(in.Latency, r)
+	case MetricQueueOverSim:
+		return evalPhaseOverSim(in.Spans, r, "queue_wait",
+			"queue wait %s µs exceeds simulate %s µs — worker fleet undersized for offered load")
+	case MetricDecodeOverSim:
+		return evalPhaseOverSim(in.Spans, r, "decode",
+			"decode %s µs exceeds simulate %s µs — codec or storage bound, not model bound")
+	case MetricAdmissionOverSim:
+		return evalAdmission(in.Spans, r)
+	case MetricBadSpans:
+		return evalBadSpans(in.Spans, r)
+	}
+	return nil
+}
+
+func evalModeSwitchRate(runs []RunSample, r Rule) []Alert {
+	var out []Alert
+	for _, run := range runs {
+		if run.Accesses == 0 {
+			continue
+		}
+		rate := float64(run.ModeSwitches) / float64(run.Accesses) * 1e6
+		if rate > r.Threshold {
+			out = append(out, Alert{
+				Rule:     r.Name,
+				Severity: r.Severity.orDefault(),
+				Design:   run.Design,
+				Bench:    run.Bench,
+				Detail: fmt.Sprintf("%d mode switches in %d accesses (%.0f/1M > %.0f/1M)",
+					run.ModeSwitches, run.Accesses, rate, r.Threshold),
+			})
+		}
+	}
+	return out
+}
+
+// window returns the trailing r.Window epochs of s (all of them when
+// the rule has no window).
+func window(s []EpochSample, r Rule) []EpochSample {
+	if r.Window > 0 && len(s) > r.Window {
+		return s[len(s)-r.Window:]
+	}
+	return s
+}
+
+func evalHotPlateau(series []Series, r Rule) []Alert {
+	var out []Alert
+	for _, sr := range series {
+		s := window(sr.Epochs, r)
+		if len(s) == 0 {
+			continue
+		}
+		var max uint64
+		for _, p := range s {
+			if p.HotEntries > max {
+				max = p.HotEntries
+			}
+		}
+		if max == 0 {
+			continue
+		}
+		atMax := 0
+		for _, p := range s {
+			if p.HotEntries == max {
+				atMax++
+			}
+		}
+		share := float64(atMax) / float64(len(s))
+		if atMax >= 2 && share >= r.Threshold {
+			out = append(out, Alert{
+				Rule:     r.Name,
+				Severity: r.Severity.orDefault(),
+				Design:   sr.Design,
+				Bench:    sr.Bench,
+				Detail: fmt.Sprintf("hot-table at max occupancy %d for %d of %d epochs (%.0f%% >= %.0f%%)",
+					max, atMax, len(s), share*100, r.Threshold*100),
+			})
+		}
+	}
+	return out
+}
+
+func evalMoverSkip(series []Series, r Rule) []Alert {
+	var out []Alert
+	for _, sr := range series {
+		s := window(sr.Epochs, r)
+		if len(s) == 0 {
+			continue
+		}
+		last := s[len(s)-1]
+		if last.MoverSkipped > 0 &&
+			float64(last.MoverSkipped)-float64(last.MoverStarted) >= r.Threshold {
+			out = append(out, Alert{
+				Rule:     r.Name,
+				Severity: r.Severity.orDefault(),
+				Design:   sr.Design,
+				Bench:    sr.Bench,
+				Detail: fmt.Sprintf("mover skipped %d vs started %d by access %d",
+					last.MoverSkipped, last.MoverStarted, last.Access),
+			})
+		}
+	}
+	return out
+}
+
+func evalP99(lat []LatencySample, r Rule) []Alert {
+	var out []Alert
+	for _, l := range lat {
+		if l.Count == 0 || float64(l.P99) <= r.Threshold {
+			continue
+		}
+		out = append(out, Alert{
+			Rule:     r.Name,
+			Severity: r.Severity.orDefault(),
+			Design:   l.Design,
+			Bench:    l.Bench,
+			Detail: fmt.Sprintf("%s p99 %d cycles > SLO %d (count %d, max %d)",
+				l.Tier, l.P99, uint64(r.Threshold), l.Count, l.Max),
+			instance: l.Tier,
+		})
+	}
+	return out
+}
+
+// sumByPrefix totals the wall time of spans named prefix or nested
+// under prefix/ (a span forest addressed like a path tree) and counts
+// the matches.
+func sumByPrefix(spans []Span, prefix string) (float64, int) {
+	var sum float64
+	n := 0
+	for _, s := range spans {
+		if s.Name == prefix || (len(s.Name) > len(prefix) &&
+			s.Name[:len(prefix)] == prefix && s.Name[len(prefix)] == '/') {
+			sum += s.DurUS
+			n++
+		}
+	}
+	return sum, n
+}
+
+func evalPhaseOverSim(spans []Span, r Rule, phase, format string) []Alert {
+	sim, simN := sumByPrefix(spans, "simulate")
+	if simN == 0 {
+		return nil
+	}
+	v, _ := sumByPrefix(spans, phase)
+	if v > sim*r.Threshold {
+		return []Alert{{
+			Rule:     r.Name,
+			Severity: r.Severity.orDefault(),
+			Detail:   fmt.Sprintf(format, f3(v), f3(sim)),
+		}}
+	}
+	return nil
+}
+
+func evalAdmission(spans []Span, r Rule) []Alert {
+	sim, simN := sumByPrefix(spans, "simulate")
+	if simN == 0 {
+		return nil
+	}
+	spool, _ := sumByPrefix(spans, "spool")
+	look, _ := sumByPrefix(spans, "cache_lookup")
+	adm := spool + look
+	if adm > sim*r.Threshold {
+		return []Alert{{
+			Rule:     r.Name,
+			Severity: r.Severity.orDefault(),
+			Detail: fmt.Sprintf("spool+cache_lookup %s µs exceeds simulate %s µs — a cache hit would cost more than this miss simulated",
+				f3(adm), f3(sim)),
+		}}
+	}
+	return nil
+}
+
+func evalBadSpans(spans []Span, r Rule) []Alert {
+	if len(spans) == 0 {
+		return nil
+	}
+	bad := 0
+	for _, s := range spans {
+		if s.Status != "ok" {
+			bad++
+		}
+	}
+	if float64(bad) > r.Threshold {
+		return []Alert{{
+			Rule:     r.Name,
+			Severity: r.Severity.orDefault(),
+			Detail:   fmt.Sprintf("%d of %d spans ended aborted or in error", bad, len(spans)),
+		}}
+	}
+	return nil
+}

@@ -1,0 +1,25 @@
+//go:build !race
+
+package alert
+
+import "testing"
+
+// TestDisabledAlertOverhead pins the disabled-path contract shared
+// with telemetry.Probe and obs.JobTrace: when no monitor is attached
+// (nil CellMon), feeding an epoch costs under 2 ns and never
+// allocates, so leaving alerting compiled into the hot loop is free.
+// Excluded under -race like the other overhead guards: the race
+// runtime inflates every call by orders of magnitude.
+func TestDisabledAlertOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive; skipped in -short")
+	}
+	res := testing.Benchmark(BenchmarkAlertDisabled)
+	nsPerOp := float64(res.T.Nanoseconds()) / float64(res.N)
+	if nsPerOp >= 2 {
+		t.Fatalf("disabled alert path costs %.2f ns/op, want < 2", nsPerOp)
+	}
+	if res.AllocsPerOp() != 0 {
+		t.Fatalf("disabled alert path allocates %d/op, want 0", res.AllocsPerOp())
+	}
+}

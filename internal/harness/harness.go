@@ -23,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/alert"
 	"repro/internal/cache"
 	"repro/internal/ckpt"
 	"repro/internal/config"
@@ -95,6 +96,14 @@ type Harness struct {
 	// exactly once and `bbreport merge` can reassemble the unsharded
 	// cell order.
 	Shard runner.Shard
+
+	// Alerts is the live SLO monitor (see internal/alert): when set,
+	// every run feeds it epoch samples as telemetry fires and a final
+	// sample at completion, so rule evaluation tracks the sweep in
+	// flight. nil (the default) disables alerting at nil-check cost.
+	// Like Obs and Spans, the monitor lives strictly outside the
+	// simulation and never influences results.
+	Alerts *alert.Monitor
 
 	// Spans is the request-scoped span collector: when bbserve executes a
 	// job it hands its per-job harness copy the job's trace here, and the
@@ -270,6 +279,7 @@ func (h *Harness) runStream(sys config.System, mem hmm.MemSystem, bench string, 
 	// assembled sweep output stays byte-identical at any Parallel setting.
 	var runTel *RunTelemetry
 	var probe *telemetry.Probe
+	cm := h.Alerts.StartCell(mem.Name(), bench)
 	if h.TelemetryEpoch > 0 {
 		probe = telemetry.NewProbe(h.TelemetryEpoch, h.TraceDepth)
 		runTel = &RunTelemetry{Epoch: h.TelemetryEpoch, FreqMHz: sys.Core.FreqMHz}
@@ -281,6 +291,7 @@ func (h *Harness) runStream(sys config.System, mem hmm.MemSystem, bench string, 
 				pt.HasState = true
 			}
 			runTel.Timeline = append(runTel.Timeline, pt)
+			cm.ObserveEpoch(epochSample(pt))
 		}
 		mem.Devices().AttachTelemetry(probe)
 	}
@@ -316,7 +327,7 @@ func (h *Harness) runStream(sys config.System, mem hmm.MemSystem, bench string, 
 	}
 	cnt := mem.Counters()
 	h.obsDone(mem.Name(), bench, res.Accesses, cnt, lat)
-	return RunResult{
+	rr := RunResult{
 		Design:    mem.Name(),
 		Bench:     bench,
 		CPU:       res,
@@ -325,7 +336,12 @@ func (h *Harness) runStream(sys config.System, mem hmm.MemSystem, bench string, 
 		HBMBytes:  hbm.TotalBytes(),
 		DRAMBytes: ddr.TotalBytes(),
 		Telemetry: runTel,
-	}, nil
+	}
+	// The final feed evaluates the full rule set over the completed
+	// cell — latency summaries included — so the monitor's firing set
+	// for this cell is exactly what post-hoc analysis computes.
+	cm.Done(runSample(rr), latencySamples(rr))
+	return rr, nil
 }
 
 // RunDesign builds the named design and runs one benchmark on it.

@@ -115,6 +115,10 @@ func sweepCells[T any](h *Harness, cells []cell, per int, run func(i int) (T, er
 					return zero, fmt.Errorf("checkpoint %s: corrupt payload: %w", c.ID, jerr)
 				}
 				h.Obs.CellResumed()
+				// Resumed cells bypass runStream, so replay the recorded
+				// result into the live alert monitor: after a resume the
+				// firing set must equal an uninterrupted run's.
+				h.alertReplay(v)
 				h.log("cell resumed", "cell", c.ID, "attempts", rec.Attempts)
 				return v, nil
 			}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"runtime"
 	"time"
@@ -32,6 +33,12 @@ type Flags struct {
 	// Observability endpoints (RegisterServe).
 	Pprof       string
 	MetricsAddr string
+
+	// Structured logging (RegisterLog).
+	LogLevel string
+
+	// Live alerting (RegisterAlert; see internal/alert).
+	Rules string
 }
 
 // RegisterSweep registers the worker-pool flags.
@@ -64,11 +71,25 @@ func (f *Flags) RegisterServe(fs *flag.FlagSet) {
 		"serve only Prometheus /metrics on this address (e.g. localhost:9090)")
 }
 
+// RegisterLog registers the shared structured-logging flags.
+func (f *Flags) RegisterLog(fs *flag.FlagSet) {
+	fs.StringVar(&f.LogLevel, "log-level", "info",
+		"structured log threshold: debug, info, warn, or error (alert events log at warn)")
+}
+
+// RegisterAlert registers the live SLO alerting flags.
+func (f *Flags) RegisterAlert(fs *flag.FlagSet) {
+	fs.StringVar(&f.Rules, "rules", "",
+		"alert rules JSON file evaluated live and written to alerts.json (empty picks the built-in rules)")
+}
+
 // RegisterAll registers every shared flag group.
 func (f *Flags) RegisterAll(fs *flag.FlagSet) {
 	f.RegisterSweep(fs)
 	f.RegisterTelemetry(fs)
 	f.RegisterServe(fs)
+	f.RegisterLog(fs)
+	f.RegisterAlert(fs)
 }
 
 // Validate checks cross-flag constraints shared by the binaries.
@@ -76,7 +97,35 @@ func (f *Flags) Validate() error {
 	if f.TraceOut != "" && f.TelemetryEpoch == 0 {
 		return fmt.Errorf("-trace-out needs -telemetry-epoch > 0")
 	}
+	if _, err := f.SlogLevel(); err != nil {
+		return err
+	}
 	return nil
+}
+
+// SlogLevel parses the -log-level flag ("" counts as info).
+func (f *Flags) SlogLevel() (slog.Level, error) {
+	switch f.LogLevel {
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "debug":
+		return slog.LevelDebug, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("-log-level %q: want debug, info, warn, or error", f.LogLevel)
+}
+
+// Logger builds the run logger at the configured level. Call after
+// Validate; an unparseable level falls back to info.
+func (f *Flags) Logger(w io.Writer) *slog.Logger {
+	lvl, err := f.SlogLevel()
+	if err != nil {
+		lvl = slog.LevelInfo
+	}
+	return NewLeveledRunLogger(w, lvl)
 }
 
 // RetryPolicy converts the retry flags to the runner's retry config.

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/alert"
+)
+
+// lintExposition checks one /metrics body against the text-format
+// 0.0.4 grammar plus the OpenMetrics terminator: every sample line
+// parses, every metric family is preceded by its HELP and TYPE, and
+// the body ends with exactly one "# EOF" line. It returns the sample
+// occurrence counts (metric name + label set) for caller assertions.
+func lintExposition(t *testing.T, body string) map[string]int {
+	t.Helper()
+	sample := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z0-9_]+="[^"]*"(,[a-zA-Z0-9_]+="[^"]*")*\})? -?[0-9].*$`)
+	typed := map[string]bool{}
+	helped := map[string]bool{}
+	seen := map[string]int{}
+	if !strings.HasSuffix(body, "\n") {
+		t.Error("exposition body does not end with a newline")
+	}
+	lines := strings.Split(strings.TrimSuffix(body, "\n"), "\n")
+	for i, line := range lines {
+		if line == "# EOF" {
+			if i != len(lines)-1 {
+				t.Errorf("# EOF at line %d is not the final line", i+1)
+			}
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			helped[strings.Fields(rest)[0]] = true
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			f := strings.Fields(rest)
+			if len(f) != 2 || (f[1] != "gauge" && f[1] != "summary" && f[1] != "counter") {
+				t.Errorf("bad TYPE line %q", line)
+			}
+			typed[f[0]] = true
+			continue
+		}
+		m := sample.FindStringSubmatch(line)
+		if m == nil {
+			t.Errorf("unparseable sample line %q", line)
+			continue
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(m[1], "_sum"), "_count")
+		if !typed[base] || !helped[base] {
+			t.Errorf("sample %q not preceded by HELP+TYPE for %q", line, base)
+		}
+		seen[m[0][:len(m[1])+len(m[2])]]++
+	}
+	if lines[len(lines)-1] != "# EOF" {
+		t.Errorf("exposition body does not terminate with # EOF (last line %q)", lines[len(lines)-1])
+	}
+	return seen
+}
+
+// TestSweepExpositionLint holds the sweep exposition to the same
+// grammar the service body is held to, alert gauges included.
+func TestSweepExpositionLint(t *testing.T) {
+	s := fixedSweep()
+	mon := alert.NewMonitor(alert.Defaults())
+	cm := mon.StartCell("bumblebee", "mcf")
+	cm.Done(alert.RunSample{Design: "bumblebee", Bench: "mcf", Accesses: 1000, ModeSwitches: 600}, nil)
+	s.Alerts = mon
+	var b strings.Builder
+	if err := s.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	seen := lintExposition(t, b.String())
+	key := `bb_alerts_firing{bench="mcf",design="bumblebee",rule="mode-switch-thrashing"}`
+	if seen[key] != 1 {
+		t.Errorf("missing %s in:\n%s", key, b.String())
+	}
+	if seen["bb_alerts_total"] != 1 {
+		t.Error("missing bb_alerts_total")
+	}
+
+	// The nil-sweep placeholder body still terminates correctly.
+	var nb strings.Builder
+	if err := (*Sweep)(nil).WritePrometheus(&nb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(nb.String(), "# EOF\n") {
+		t.Errorf("nil-sweep body missing # EOF: %q", nb.String())
+	}
+}
+
+// TestMetricsContentType pins the /metrics Content-Type — version and
+// charset — for both handlers.
+func TestMetricsContentType(t *testing.T) {
+	const want = "text/plain; version=0.0.4; charset=utf-8"
+	rec := httptest.NewRecorder()
+	fixedSweep().Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != want {
+		t.Errorf("sweep Content-Type = %q, want %q", ct, want)
+	}
+	rec = httptest.NewRecorder()
+	fixedService().Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != want {
+		t.Errorf("service Content-Type = %q, want %q", ct, want)
+	}
+}

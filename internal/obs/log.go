@@ -13,7 +13,15 @@ import (
 // sweep produce comparable logs — the same philosophy as the rest of the
 // repository's output.
 func NewRunLogger(w io.Writer) *slog.Logger {
+	return NewLeveledRunLogger(w, slog.LevelInfo)
+}
+
+// NewLeveledRunLogger is NewRunLogger with an explicit level threshold,
+// backing the shared -log-level flag: debug surfaces per-cell noise,
+// warn keeps only alert and resilience events, error silences both.
+func NewLeveledRunLogger(w io.Writer, level slog.Level) *slog.Logger {
 	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{
+		Level: level,
 		ReplaceAttr: func(groups []string, a slog.Attr) slog.Attr {
 			if len(groups) == 0 && a.Key == slog.TimeKey {
 				return slog.Attr{}

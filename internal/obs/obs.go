@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/alert"
 	"repro/internal/telemetry"
 )
 
@@ -56,6 +57,12 @@ type Sweep struct {
 	// subscribers; the callback must not call back into the Sweep's
 	// mutating methods.
 	OnUpdate func(Snapshot)
+
+	// Alerts, when set before the sweep starts, is the live SLO monitor
+	// whose firing set WritePrometheus renders as bb_alerts_firing /
+	// bb_alerts_total. The sweep never writes to it — the harness feeds
+	// it — so exposing it here costs nothing when unset.
+	Alerts *alert.Monitor
 
 	mu       sync.Mutex
 	start    time.Time
@@ -212,16 +219,16 @@ func (s *Sweep) Checkpointed() {
 
 // Snapshot is a consistent copy of the sweep's progress totals.
 type Snapshot struct {
-	Name            string
-	Planned         uint64
-	Done            uint64 // completed cells, failures included
-	Failed          uint64
-	Accesses        uint64
-	Elapsed         time.Duration
-	AccessesPerSec  float64
-	ETA             time.Duration // 0 when unknown (nothing done or planned)
-	LastError       string
-	Designs         []string // first-seen order
+	Name           string
+	Planned        uint64
+	Done           uint64 // completed cells, failures included
+	Failed         uint64
+	Accesses       uint64
+	Elapsed        time.Duration
+	AccessesPerSec float64
+	ETA            time.Duration // 0 when unknown (nothing done or planned)
+	LastError      string
+	Designs        []string // first-seen order
 
 	// Resilience totals (zero unless the crash-safe layer is active).
 	Retried       uint64        // retry attempts consumed
@@ -243,12 +250,12 @@ func (s *Sweep) Snapshot() Snapshot {
 
 func (s *Sweep) snapshotLocked() Snapshot {
 	snap := Snapshot{
-		Name:     s.name,
-		Planned:  s.planned,
-		Done:     s.done,
-		Failed:   s.failed,
-		Accesses: s.accesses,
-		Elapsed:  s.now().Sub(s.start),
+		Name:      s.name,
+		Planned:   s.planned,
+		Done:      s.done,
+		Failed:    s.failed,
+		Accesses:  s.accesses,
+		Elapsed:   s.now().Sub(s.start),
 		LastError: s.lastErr,
 	}
 	snap.Designs = append(snap.Designs, s.order...)

@@ -59,7 +59,7 @@ func fmtFloat(v float64) string {
 // format. It holds the sweep lock only long enough to copy the state.
 func (s *Sweep) WritePrometheus(w io.Writer) error {
 	if s == nil {
-		_, err := io.WriteString(w, "# bumblebee sweep metrics: no sweep active\n")
+		_, err := io.WriteString(w, "# bumblebee sweep metrics: no sweep active\n# EOF\n")
 		return err
 	}
 	s.mu.Lock()
@@ -146,6 +146,22 @@ func (s *Sweep) WritePrometheus(w io.Writer) error {
 			}
 		}
 	}
+
+	// Live alert state, when a monitor is attached: one gauge sample per
+	// firing (rule, design, bench) plus the transition counter. Families
+	// render whenever a monitor exists so the schema is stable.
+	if s.Alerts != nil {
+		fmt.Fprintf(&b, "# HELP bb_alerts_firing Alert rules currently firing, by rule and sweep cell.\n# TYPE bb_alerts_firing gauge\n")
+		for _, g := range s.Alerts.GaugeSamples() {
+			fmt.Fprintf(&b, "bb_alerts_firing{bench=%q,design=%q,rule=%q} %d\n",
+				escapeLabel(g.Bench), escapeLabel(g.Design), escapeLabel(g.Rule), g.Value)
+		}
+		fmt.Fprintf(&b, "# HELP bb_alerts_total Alert firing transitions since the sweep started.\n# TYPE bb_alerts_total counter\nbb_alerts_total %d\n", s.Alerts.Total())
+	}
+
+	// OpenMetrics-compatible terminator: scrapers that speak the newer
+	// grammar use it to detect truncated bodies.
+	b.WriteString("# EOF\n")
 	_, err := io.WriteString(w, b.String())
 	return err
 }

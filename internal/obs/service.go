@@ -193,6 +193,8 @@ func (s *Service) WritePrometheus(w io.Writer) error {
 		fmt.Fprintf(&b, "bb_serve_latency_seconds_sum{phase=%q} %s\n", phase, fmtFloat(float64(h.Sum)/1e9))
 		fmt.Fprintf(&b, "bb_serve_latency_seconds_count{phase=%q} %d\n", phase, h.Count)
 	}
+	// OpenMetrics-compatible terminator (see Sweep.WritePrometheus).
+	b.WriteString("# EOF\n")
 	_, err := io.WriteString(w, b.String())
 	return err
 }

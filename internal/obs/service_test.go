@@ -3,7 +3,6 @@ package obs
 import (
 	"os"
 	"path/filepath"
-	"regexp"
 	"strings"
 	"sync"
 	"testing"
@@ -63,42 +62,16 @@ func TestServicePrometheusGolden(t *testing.T) {
 }
 
 // TestServiceExpositionLint checks the body against the text-format
-// 0.0.4 grammar: every sample line parses, every metric family is
-// preceded by its HELP and TYPE, and the phase summary covers all
+// 0.0.4 grammar — every sample line parses, every metric family is
+// preceded by its HELP and TYPE, the body terminates with the
+// OpenMetrics # EOF marker — and that the phase summary covers all
 // phases with the three quantiles plus _sum and _count.
 func TestServiceExpositionLint(t *testing.T) {
 	var b strings.Builder
 	if err := fixedService().WritePrometheus(&b); err != nil {
 		t.Fatal(err)
 	}
-	sample := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z0-9_]+="[^"]*"(,[a-zA-Z0-9_]+="[^"]*")*\})? -?[0-9].*$`)
-	typed := map[string]bool{}
-	helped := map[string]bool{}
-	seen := map[string]int{}
-	for _, line := range strings.Split(strings.TrimSuffix(b.String(), "\n"), "\n") {
-		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
-			helped[strings.Fields(rest)[0]] = true
-			continue
-		}
-		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
-			f := strings.Fields(rest)
-			if len(f) != 2 || (f[1] != "gauge" && f[1] != "summary" && f[1] != "counter") {
-				t.Errorf("bad TYPE line %q", line)
-			}
-			typed[f[0]] = true
-			continue
-		}
-		m := sample.FindStringSubmatch(line)
-		if m == nil {
-			t.Errorf("unparseable sample line %q", line)
-			continue
-		}
-		base := strings.TrimSuffix(strings.TrimSuffix(m[1], "_sum"), "_count")
-		if !typed[base] || !helped[base] {
-			t.Errorf("sample %q not preceded by HELP+TYPE for %q", line, base)
-		}
-		seen[m[0][:len(m[1])+len(m[2])]]++
-	}
+	seen := lintExposition(t, b.String())
 	for p := Phase(0); p < NumPhases; p++ {
 		for _, q := range []string{"0.5", "0.95", "0.99"} {
 			key := `bb_serve_latency_seconds{phase="` + p.String() + `",quantile="` + q + `"}`

@@ -1,14 +1,18 @@
 package report
 
 import (
-	"fmt"
 	"sort"
+
+	"repro/internal/alert"
 )
 
 // The anomaly rules encode the failure signatures we know how to read
 // out of a run directory. Each is deliberately simple — a threshold over
 // columns the sweep already emits — so a flag always points at concrete
-// numbers the reader can check in the CSVs.
+// numbers the reader can check in the CSVs. The rule logic itself lives
+// in internal/alert: post-hoc analysis here evaluates the exact same
+// engine the live sweep monitor and bbserve jobs run, so a flag in a
+// report is the same object as a firing gauge on /metrics.
 
 // Rules are the anomaly thresholds; zero values pick the defaults.
 type Rules struct {
@@ -39,6 +43,24 @@ func (r Rules) defaults() Rules {
 	return r
 }
 
+// RuleSet lowers the threshold knobs onto the declarative default rule
+// set — the bridge from bbreport's historical flags to the engine.
+func (r Rules) RuleSet() alert.RuleSet {
+	r = r.defaults()
+	rs := alert.Defaults()
+	for i := range rs.Rules {
+		switch rs.Rules[i].Metric {
+		case alert.MetricModeSwitchRate:
+			rs.Rules[i].Threshold = r.ModeSwitchPer1M
+		case alert.MetricHotPlateauShare:
+			rs.Rules[i].Threshold = r.HotPlateauShare
+		case alert.MetricP99Cycles:
+			rs.Rules[i].Threshold = float64(r.P99SLOCycles)
+		}
+	}
+	return rs
+}
+
 // Flag is one triggered anomaly rule.
 type Flag struct {
 	Rule   string // rule identifier, e.g. "mode-switch-thrashing"
@@ -47,35 +69,32 @@ type Flag struct {
 	Detail string // the numbers that triggered it
 }
 
-// Analyze runs every rule over one loaded run and returns the triggered
-// flags sorted by (rule, design, bench) — deterministic report input.
-func Analyze(run *Run, rules Rules) []Flag {
-	rules = rules.defaults()
-	var flags []Flag
-
-	// Mode-switch thrashing: runs.csv, per (design, bench).
+// AlertInput lowers a loaded run directory into the engine's input
+// shape: runs.csv rows become run samples, the timeline's stateful
+// epochs become per-cell series (grouped in sorted cell order), and
+// runs_latency.csv rows become latency samples.
+func AlertInput(run *Run) alert.Input {
+	var in alert.Input
 	for _, r := range run.Runs {
-		accesses := r.ServedHBM + r.ServedDRAM
-		if accesses == 0 {
-			continue
-		}
-		rate := float64(r.ModeSwitches) / float64(accesses) * 1e6
-		if rate > rules.ModeSwitchPer1M {
-			flags = append(flags, Flag{
-				Rule: "mode-switch-thrashing", Design: r.Design, Bench: r.Bench,
-				Detail: fmt.Sprintf("%d mode switches in %d accesses (%.0f/1M > %.0f/1M)",
-					r.ModeSwitches, accesses, rate, rules.ModeSwitchPer1M),
-			})
-		}
+		in.Runs = append(in.Runs, alert.RunSample{
+			Design: r.Design, Bench: r.Bench,
+			Accesses:     r.ServedHBM + r.ServedDRAM,
+			ModeSwitches: r.ModeSwitches,
+		})
 	}
-
-	// Timeline rules need per-(design, bench) epoch series.
 	type key struct{ design, bench string }
-	series := map[key][]TimelineRow{}
+	series := map[key][]alert.EpochSample{}
 	for _, t := range run.Timeline {
 		if t.HasState {
 			k := key{t.Design, t.Bench}
-			series[k] = append(series[k], t)
+			series[k] = append(series[k], alert.EpochSample{
+				Access:       t.Access,
+				ModeSwitches: t.ModeSwitches,
+				HotEntries:   t.HotHBM,
+				MoverStarted: t.MoverStarted,
+				MoverSkipped: t.MoverSkipped,
+				HasState:     true,
+			})
 		}
 	}
 	keys := make([]key, 0, len(series))
@@ -89,56 +108,26 @@ func Analyze(run *Run, rules Rules) []Flag {
 		return keys[i].bench < keys[j].bench
 	})
 	for _, k := range keys {
-		s := series[k]
-		// Hot-table saturation: occupancy pinned at its maximum for most
-		// of the run.
-		var max uint64
-		for _, t := range s {
-			if t.HotHBM > max {
-				max = t.HotHBM
-			}
-		}
-		if max > 0 {
-			atMax := 0
-			for _, t := range s {
-				if t.HotHBM == max {
-					atMax++
-				}
-			}
-			// atMax >= 2 keeps a still-growing series (whose last sample is
-			// trivially the max) from counting as a plateau.
-			if share := float64(atMax) / float64(len(s)); atMax >= 2 && share >= rules.HotPlateauShare {
-				flags = append(flags, Flag{
-					Rule: "hot-table-saturation", Design: k.design, Bench: k.bench,
-					Detail: fmt.Sprintf("hot-table at max occupancy %d for %d of %d epochs (%.0f%% >= %.0f%%)",
-						max, atMax, len(s), share*100, rules.HotPlateauShare*100),
-				})
-			}
-		}
-		// Mover-budget exhaustion: by the last epoch the mover has skipped
-		// at least as many migrations as it started — the per-epoch budget
-		// is the bottleneck, not the policy.
-		last := s[len(s)-1]
-		if last.MoverSkipped > 0 && last.MoverSkipped >= last.MoverStarted {
-			flags = append(flags, Flag{
-				Rule: "mover-budget-exhausted", Design: k.design, Bench: k.bench,
-				Detail: fmt.Sprintf("mover skipped %d vs started %d by access %d",
-					last.MoverSkipped, last.MoverStarted, last.Access),
-			})
-		}
+		in.Series = append(in.Series, alert.Series{
+			Design: k.design, Bench: k.bench, Epochs: series[k],
+		})
 	}
-
-	// p99 SLO breach: runs_latency.csv, per (design, bench, tier).
 	for _, l := range run.Latency {
-		if l.Count > 0 && l.P99 > rules.P99SLOCycles {
-			flags = append(flags, Flag{
-				Rule: "p99-slo-breach", Design: l.Design, Bench: l.Bench,
-				Detail: fmt.Sprintf("%s p99 %d cycles > SLO %d (count %d, max %d)",
-					l.Tier, l.P99, rules.P99SLOCycles, l.Count, l.Max),
-			})
-		}
+		in.Latency = append(in.Latency, alert.LatencySample{
+			Design: l.Design, Bench: l.Bench, Tier: l.Tier,
+			Count: l.Count, P99: l.P99, Max: l.Max,
+		})
 	}
+	return in
+}
 
+// flagsFromAlerts maps engine alerts onto report flags and applies the
+// historical (rule, design, bench, detail) order.
+func flagsFromAlerts(alerts []alert.Alert) []Flag {
+	var flags []Flag
+	for _, a := range alerts {
+		flags = append(flags, Flag{Rule: a.Rule, Design: a.Design, Bench: a.Bench, Detail: a.Detail})
+	}
 	sort.Slice(flags, func(i, j int) bool {
 		a, b := flags[i], flags[j]
 		if a.Rule != b.Rule {
@@ -153,4 +142,16 @@ func Analyze(run *Run, rules Rules) []Flag {
 		return a.Detail < b.Detail
 	})
 	return flags
+}
+
+// Analyze runs every rule over one loaded run and returns the triggered
+// flags sorted by (rule, design, bench) — deterministic report input.
+func Analyze(run *Run, rules Rules) []Flag {
+	return AnalyzeRules(run, rules.RuleSet())
+}
+
+// AnalyzeRules evaluates an arbitrary rule set (e.g. a -rules file)
+// over a loaded run directory.
+func AnalyzeRules(run *Run, rs alert.RuleSet) []Flag {
+	return flagsFromAlerts(alert.Evaluate(AlertInput(run), rs))
 }

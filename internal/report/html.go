@@ -1,0 +1,314 @@
+package report
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/alert"
+)
+
+// This file renders run directories into a single self-contained HTML
+// dashboard: no scripts, no external assets, every chart an inline SVG,
+// so the file archives next to the CSVs and opens offline. Like the
+// Markdown report, the output is a pure function of the runs' bytes
+// (plus opts): maps iterate in sorted order and every float is
+// fixed-precision, so the dashboard is byte-identical across
+// invocations and -parallel settings.
+
+// dashboardCSS is the dashboard's entire presentation layer, inlined so
+// the document stays a single file with zero external references.
+const dashboardCSS = `body{font-family:sans-serif;margin:1.5em;color:#222;max-width:72em}
+h1{font-size:1.4em}h2{font-size:1.15em;margin-top:1.6em;border-bottom:1px solid #ccc}
+h3{font-size:1em;margin-top:1.2em}
+table{border-collapse:collapse;margin:.5em 0}
+th,td{border:1px solid #bbb;padding:.25em .6em;text-align:right;font-size:.85em}
+th:first-child,td:first-child{text-align:left}
+th{background:#eee}
+svg.spark{vertical-align:middle;background:#f7f7f7}
+ul.alerts{padding-left:1.2em}
+ul.alerts li{margin:.2em 0;font-size:.9em}
+.sev-info{color:#246}.sev-warn{color:#850}.sev-critical{color:#a00;font-weight:bold}
+.quiet{color:#666;font-size:.85em}
+`
+
+// WriteHTML renders one or more loaded run directories into the
+// dashboard: a cross-design comparison grid, then per run the manifest
+// facts, design summary (with alert counts), timeline sparklines,
+// per-tier latency tables, and the alert list — preferring the
+// recorded alerts.json when the run carries one, computing from the
+// CSVs via the shared engine otherwise.
+func WriteHTML(w io.Writer, runs []*Run, opts Options) error {
+	b := &strings.Builder{}
+	b.WriteString("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n")
+	b.WriteString("<title>Bumblebee run dashboard</title>\n<style>\n")
+	b.WriteString(dashboardCSS)
+	b.WriteString("</style>\n</head>\n<body>\n<h1>Bumblebee run dashboard</h1>\n")
+	writeComparisonGrid(b, runs)
+	for _, run := range runs {
+		writeHTMLRun(b, run, opts)
+	}
+	b.WriteString("</body>\n</html>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// esc escapes untrusted text (directory names, CSV labels, alert
+// details) for HTML contexts.
+func esc(s string) string { return html.EscapeString(s) }
+
+// writeComparisonGrid renders the cross-design grid: geomean IPC per
+// design in every run, with the relative change last-vs-first when more
+// than one run is shown.
+func writeComparisonGrid(b *strings.Builder, runs []*Run) {
+	ipc := make([]map[string]float64, len(runs))
+	designSet := map[string]bool{}
+	for i, run := range runs {
+		ipc[i] = map[string]float64{}
+		for _, a := range aggregate(run.Runs) {
+			ipc[i][a.design] = a.ipcGeo
+			designSet[a.design] = true
+		}
+	}
+	if len(designSet) == 0 {
+		return
+	}
+	designs := make([]string, 0, len(designSet))
+	for d := range designSet {
+		designs = append(designs, d)
+	}
+	sort.Strings(designs)
+	b.WriteString("<h2>Cross-design comparison (geomean IPC)</h2>\n<table>\n<tr><th>design</th>")
+	for _, run := range runs {
+		fmt.Fprintf(b, "<th>%s</th>", esc(run.Name))
+	}
+	if len(runs) > 1 {
+		b.WriteString("<th>delta</th>")
+	}
+	b.WriteString("</tr>\n")
+	for _, d := range designs {
+		fmt.Fprintf(b, "<tr><td>%s</td>", esc(d))
+		for i := range runs {
+			if v, ok := ipc[i][d]; ok {
+				fmt.Fprintf(b, "<td>%s</td>", f3(v))
+			} else {
+				b.WriteString("<td>—</td>")
+			}
+		}
+		if len(runs) > 1 {
+			base, okB := ipc[0][d]
+			last, okL := ipc[len(runs)-1][d]
+			if okB && okL && base > 0 {
+				fmt.Fprintf(b, "<td>%s%%</td>", f1((last/base-1)*100))
+			} else {
+				b.WriteString("<td>—</td>")
+			}
+		}
+		b.WriteString("</tr>\n")
+	}
+	b.WriteString("</table>\n")
+}
+
+// runAlerts resolves one run's alert list and its provenance label:
+// the recorded artifact when present, a fresh evaluation otherwise.
+func runAlerts(run *Run, opts Options) ([]alert.Alert, string) {
+	if run.Alerts != nil && opts.RuleSet == nil {
+		return run.Alerts.Alerts, "recorded in alerts.json"
+	}
+	return alert.Evaluate(AlertInput(run), opts.ruleSet()), "computed from the CSVs"
+}
+
+func writeHTMLRun(b *strings.Builder, run *Run, opts Options) {
+	m := run.Manifest
+	fmt.Fprintf(b, "<h2>Run %s — %s/%s</h2>\n", esc(run.Name), esc(m.Tool), esc(m.Experiment))
+	b.WriteString("<table>\n<tr><th>field</th><th>value</th></tr>\n")
+	fmt.Fprintf(b, "<tr><td>go</td><td>%s</td></tr>\n", esc(m.GoVersion))
+	fmt.Fprintf(b, "<tr><td>scale</td><td>1/%d</td></tr>\n", m.Scale)
+	fmt.Fprintf(b, "<tr><td>accesses/run</td><td>%d</td></tr>\n", m.Accesses)
+	fmt.Fprintf(b, "<tr><td>telemetry epoch</td><td>%d</td></tr>\n", m.TelemetryEpoch)
+	flagNames := make([]string, 0, len(m.Flags))
+	for k := range m.Flags {
+		flagNames = append(flagNames, k)
+	}
+	sort.Strings(flagNames)
+	for _, k := range flagNames {
+		fmt.Fprintf(b, "<tr><td>flag -%s</td><td>%s</td></tr>\n", esc(k), esc(m.Flags[k]))
+	}
+	fmt.Fprintf(b, "<tr><td>outputs</td><td>%d files</td></tr>\n", len(m.Outputs))
+	b.WriteString("</table>\n")
+
+	alerts, source := runAlerts(run, opts)
+	alertsByDesign := map[string]int{}
+	alertsByCell := map[[2]string]int{}
+	for _, a := range alerts {
+		alertsByDesign[a.Design]++
+		alertsByCell[[2]string{a.Design, a.Bench}]++
+	}
+
+	if len(run.Runs) > 0 {
+		b.WriteString("<h3>Design summary</h3>\n<table>\n")
+		b.WriteString("<tr><th>design</th><th>benches</th><th>geomean IPC</th><th>mean MPKI</th><th>HBM serve %</th><th>mode switches</th><th>alerts</th></tr>\n")
+		for _, a := range aggregate(run.Runs) {
+			fmt.Fprintf(b, "<tr><td>%s</td><td>%d</td><td>%s</td><td>%s</td><td>%s</td><td>%d</td><td>%d</td></tr>\n",
+				esc(a.design), a.benches, f3(a.ipcGeo), f1(a.mpkiMean), f1(a.hbmShare*100),
+				a.modeSw, alertsByDesign[a.design])
+		}
+		b.WriteString("</table>\n")
+	}
+
+	writeTimelineSparks(b, run.Timeline, alertsByCell)
+	writeLatencyHTML(b, run.Latency)
+
+	b.WriteString("<h3>Alerts</h3>\n")
+	if len(alerts) == 0 {
+		fmt.Fprintf(b, "<p class=\"quiet\">none (%s).</p>\n", esc(source))
+		return
+	}
+	fmt.Fprintf(b, "<p class=\"quiet\">%d firing (%s).</p>\n<ul class=\"alerts\">\n", len(alerts), esc(source))
+	for _, a := range alerts {
+		cell := a.Design
+		if a.Bench != "" {
+			cell += "/" + a.Bench
+		}
+		fmt.Fprintf(b, "<li class=\"sev-%s\"><b>%s</b> <code>%s</code>: %s</li>\n",
+			esc(string(a.Severity)), esc(a.Rule), esc(cell), esc(a.Detail))
+	}
+	b.WriteString("</ul>\n")
+}
+
+// writeTimelineSparks renders one row per (design, bench) series of the
+// timeline CSV: a sparkline of mode switches per epoch (the cumulative
+// counter differenced), a sparkline of hot-table occupancy for stateful
+// designs, and the cell's alert count.
+func writeTimelineSparks(b *strings.Builder, rows []TimelineRow, alertsByCell map[[2]string]int) {
+	if len(rows) == 0 {
+		return
+	}
+	type key struct{ design, bench string }
+	series := map[key][]TimelineRow{}
+	for _, r := range rows {
+		k := key{r.Design, r.Bench}
+		series[k] = append(series[k], r)
+	}
+	keys := make([]key, 0, len(series))
+	for k := range series {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].design != keys[j].design {
+			return keys[i].design < keys[j].design
+		}
+		return keys[i].bench < keys[j].bench
+	})
+	b.WriteString("<h3>Telemetry timeline</h3>\n<table>\n")
+	b.WriteString("<tr><th>design</th><th>bench</th><th>epochs</th><th>mode switches / epoch</th><th>hot-table occupancy</th><th>alerts</th></tr>\n")
+	for _, k := range keys {
+		pts := series[k]
+		var switches, hot []float64
+		var prev uint64
+		hasState := false
+		for i, p := range pts {
+			d := p.ModeSwitches
+			if i > 0 && d >= prev {
+				d -= prev
+			}
+			prev = p.ModeSwitches
+			switches = append(switches, float64(d))
+			if p.HasState {
+				hasState = true
+				hot = append(hot, float64(p.HotHBM))
+			}
+		}
+		hotCell := "<span class=\"quiet\">—</span>"
+		if hasState {
+			hotCell = sparkline(hot)
+		}
+		fmt.Fprintf(b, "<tr><td>%s</td><td>%s</td><td>%d</td><td>%s</td><td>%s</td><td>%d</td></tr>\n",
+			esc(k.design), esc(k.bench), len(pts), sparkline(switches), hotCell,
+			alertsByCell[[2]string{k.design, k.bench}])
+	}
+	b.WriteString("</table>\n")
+}
+
+// writeLatencyHTML renders the per (design, tier) latency table,
+// counts summed and quantiles worst-cased over benches like the
+// Markdown report.
+func writeLatencyHTML(b *strings.Builder, rows []LatencyRow) {
+	if len(rows) == 0 {
+		return
+	}
+	type key struct{ design, tier string }
+	agg := map[key]*LatencyRow{}
+	for _, l := range rows {
+		if l.Count == 0 {
+			continue
+		}
+		k := key{l.Design, l.Tier}
+		a := agg[k]
+		if a == nil {
+			cp := l
+			agg[k] = &cp
+			continue
+		}
+		a.Count += l.Count
+		for _, pair := range [][2]*uint64{{&a.P50, &l.P50}, {&a.P95, &l.P95}, {&a.P99, &l.P99}, {&a.Max, &l.Max}} {
+			if *pair[1] > *pair[0] {
+				*pair[0] = *pair[1]
+			}
+		}
+	}
+	keys := make([]key, 0, len(agg))
+	for k := range agg {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].design != keys[j].design {
+			return keys[i].design < keys[j].design
+		}
+		return keys[i].tier < keys[j].tier
+	})
+	b.WriteString("<h3>Tier latency (cycles, worst bench per design)</h3>\n<table>\n")
+	b.WriteString("<tr><th>design</th><th>tier</th><th>requests</th><th>p50</th><th>p95</th><th>p99</th><th>max</th></tr>\n")
+	for _, k := range keys {
+		a := agg[k]
+		fmt.Fprintf(b, "<tr><td>%s</td><td>%s</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td></tr>\n",
+			esc(k.design), esc(k.tier), a.Count, a.P50, a.P95, a.P99, a.Max)
+	}
+	b.WriteString("</table>\n")
+}
+
+// sparkline renders vals as a fixed-size inline SVG polyline. The
+// coordinate formatting is fixed-precision so equal inputs always
+// produce equal bytes.
+func sparkline(vals []float64) string {
+	const w, h = 160, 28
+	if len(vals) == 0 {
+		return "<span class=\"quiet\">—</span>"
+	}
+	if len(vals) == 1 {
+		vals = append(vals, vals[0]) // a single epoch still draws a (flat) line
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	pts := make([]string, len(vals))
+	for i, v := range vals {
+		x := 1 + float64(i)/float64(len(vals)-1)*(w-2)
+		y := float64(h-2) - (v-lo)/span*(h-4)
+		pts[i] = f1(x) + "," + f1(y)
+	}
+	return fmt.Sprintf("<svg class=\"spark\" width=\"%d\" height=\"%d\" viewBox=\"0 0 %d %d\" role=\"img\" aria-label=\"sparkline %s to %s\"><polyline fill=\"none\" stroke=\"#276\" stroke-width=\"1\" points=\"%s\"/></svg>",
+		w, h, w, h, f1(lo), f1(hi), strings.Join(pts, " "))
+}

@@ -1,0 +1,113 @@
+package report
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/alert"
+)
+
+// The dashboard is an artifact people archive and diff, so the test
+// pins it bytewise against a golden (UPDATE_GOLDEN=1 regenerates) and
+// enforces the self-containment contract: inline SVG charts, no
+// external URLs, no scripts.
+
+func loadFixtureRuns(t *testing.T) []*Run {
+	t.Helper()
+	var runs []*Run
+	for _, name := range []string{"runA", "runB"} {
+		r, err := LoadRun(filepath.Join("testdata", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs = append(runs, r)
+	}
+	return runs
+}
+
+func TestDashboardGolden(t *testing.T) {
+	runs := loadFixtureRuns(t)
+	var b bytes.Buffer
+	if err := WriteHTML(&b, runs, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "dashboard.golden.html")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, b.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_GOLDEN=1 to generate)", err)
+	}
+	if !bytes.Equal(b.Bytes(), want) {
+		t.Fatalf("dashboard drifted from golden (UPDATE_GOLDEN=1 regenerates)\ngot:\n%s", b.String())
+	}
+
+	// Re-rendering the same inputs must be byte-identical — the same
+	// determinism contract the CSVs carry.
+	var again bytes.Buffer
+	if err := WriteHTML(&again, runs, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b.Bytes(), again.Bytes()) {
+		t.Fatal("two renders of the same runs differ")
+	}
+}
+
+func TestDashboardSelfContained(t *testing.T) {
+	runs := loadFixtureRuns(t)
+	var b bytes.Buffer
+	if err := WriteHTML(&b, runs, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, banned := range []string{"http://", "https://", "<script", "src=", "href="} {
+		if strings.Contains(out, banned) {
+			t.Errorf("dashboard contains %q; it must be fully self-contained", banned)
+		}
+	}
+	for _, required := range []string{"<svg", "Cross-design comparison", "Tier latency", "Alerts"} {
+		if !strings.Contains(out, required) {
+			t.Errorf("dashboard is missing %q", required)
+		}
+	}
+}
+
+// TestDashboardPrefersRecordedAlerts: a run carrying alerts.json
+// renders the recorded set; without one the dashboard computes from the
+// CSVs, and a -rules override forces recomputation.
+func TestDashboardPrefersRecordedAlerts(t *testing.T) {
+	runs := loadFixtureRuns(t)
+	run := runs[0]
+	run.Alerts = &alert.Report{
+		Rules: alert.Defaults().Rules,
+		Alerts: []alert.Alert{{
+			Rule: "p99-slo-breach", Severity: alert.SevCritical,
+			Design: "bumblebee", Bench: "mcf", Detail: "recorded-marker-detail",
+		}},
+	}
+	var b bytes.Buffer
+	if err := WriteHTML(&b, []*Run{run}, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "recorded-marker-detail") {
+		t.Error("dashboard did not render the recorded alerts.json alerts")
+	}
+	if !strings.Contains(b.String(), "recorded in alerts.json") {
+		t.Error("dashboard did not label the recorded provenance")
+	}
+
+	rs := alert.Defaults()
+	var c bytes.Buffer
+	if err := WriteHTML(&c, []*Run{run}, Options{RuleSet: &rs}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(c.String(), "recorded-marker-detail") {
+		t.Error("-rules override must recompute instead of echoing the artifact")
+	}
+}

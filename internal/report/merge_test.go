@@ -4,9 +4,12 @@ import (
 	"encoding/csv"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strconv"
 	"strings"
 	"testing"
+
+	"repro/internal/alert"
 )
 
 // Synthetic sweep for merge tests: 7 run groups (design, bench) in
@@ -194,5 +197,97 @@ func TestMergeRefusesUnshardedDir(t *testing.T) {
 	_, err := Merge(filepath.Join(t.TempDir(), "m"), []string{ref, shards[0], shards[1]})
 	if err == nil || !strings.Contains(err.Error(), "not a shard run") {
 		t.Fatalf("unsharded dir not refused: %v", err)
+	}
+}
+
+// Alert-triggering variant of the merge fixture: the same 7-group
+// sweep, but with the full counter columns so the default rule set has
+// something to fire on — every group breaches the mode-switch rate, and
+// every stateful group with 2+ epochs pins its hot table at max and
+// skips mover work.
+func writeAlertMergeCSVs(t *testing.T, dir string, own func(i int) bool) {
+	t.Helper()
+	runs := [][]string{{"design", "bench", "served_hbm", "served_dram", "mode_switches"}}
+	tl := [][]string{{"design", "bench", "access", "mode_switches", "hot_hbm_entries", "mover_started", "mover_skipped"}}
+	for i, g := range mergeGroups {
+		if !own(i) {
+			continue
+		}
+		runs = append(runs, []string{g.design, g.bench,
+			strconv.Itoa(600 + i), strconv.Itoa(400 - i), strconv.Itoa(700 + i)})
+		for e := 0; e < g.epochs; e++ {
+			tl = append(tl, []string{g.design, g.bench,
+				strconv.Itoa((e + 1) * 1000), strconv.Itoa(100 * (e + 1)),
+				"64", "1", strconv.Itoa(5 + i)})
+		}
+	}
+	for name, recs := range map[string][][]string{"runs.csv": runs, "runs_timeline.csv": tl} {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := csv.NewWriter(f)
+		if err := w.WriteAll(recs); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// alertMergeFixture mirrors mergeFixture over the alert-triggering CSVs.
+func alertMergeFixture(t *testing.T, n int) ([]string, string) {
+	t.Helper()
+	root := t.TempDir()
+	ref := filepath.Join(root, "full")
+	if err := os.MkdirAll(ref, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeAlertMergeCSVs(t, ref, func(int) bool { return true })
+	writeMergeManifest(t, ref, "")
+	dirs := make([]string, n)
+	for k := 1; k <= n; k++ {
+		dir := filepath.Join(root, "shard"+strconv.Itoa(k))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		kk := k
+		writeAlertMergeCSVs(t, dir, func(i int) bool { return i%n == kk-1 })
+		writeMergeManifest(t, dir, strconv.Itoa(k)+"/"+strconv.Itoa(n))
+		dirs[k-1] = dir
+	}
+	return dirs, ref
+}
+
+// TestMergePreservesAlertSet: analyzing a 3-shard merged directory must
+// produce the identical alert set as the unsharded reference — shard
+// boundaries cannot create, drop, or reorder anomalies.
+func TestMergePreservesAlertSet(t *testing.T) {
+	shards, ref := alertMergeFixture(t, 3)
+	dst := filepath.Join(t.TempDir(), "merged")
+	if _, err := Merge(dst, shards); err != nil {
+		t.Fatal(err)
+	}
+	refRun, err := LoadRun(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mergedRun, err := LoadRun(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := alert.Defaults()
+	want := alert.Evaluate(AlertInput(refRun), rs)
+	got := alert.Evaluate(AlertInput(mergedRun), rs)
+	if len(want) == 0 {
+		t.Fatal("reference fixture fires no alerts; the fixture should breach the default rules")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("merged alert set differs from unsharded reference:\nmerged: %+v\nreference: %+v", got, want)
+	}
+	// And through the report analyzer (the user-facing path).
+	if !reflect.DeepEqual(AnalyzeRules(mergedRun, rs), AnalyzeRules(refRun, rs)) {
+		t.Error("AnalyzeRules flags differ between merged and unsharded directories")
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/alert"
 	"repro/internal/ckpt"
 )
 
@@ -23,6 +24,10 @@ type Run struct {
 	Runs     []RunRow
 	Timeline []TimelineRow
 	Latency  []LatencyRow
+
+	// Alerts is the run's recorded alerts.json (rules + the alerts the
+	// producer evaluated live), nil when the manifest lists none.
+	Alerts *alert.Report
 
 	// Checkpoint is the run's crash-safety journal when one exists (nil
 	// otherwise). It is deliberately not a manifest output — attempt
@@ -58,6 +63,12 @@ func LoadRun(dir string) (*Run, error) {
 			if run.Latency, err = readLatency(path); err != nil {
 				return nil, err
 			}
+		case "alerts":
+			rep, err := alert.ReadJSONFile(path)
+			if err != nil {
+				return nil, err
+			}
+			run.Alerts = &rep
 		}
 	}
 	if run.Checkpoint, err = ckpt.Load(dir); err != nil {
@@ -75,6 +86,17 @@ type Options struct {
 	Session bool
 	// Anomaly thresholds; zero values pick the defaults.
 	Rules Rules
+	// RuleSet, when non-nil, overrides Rules with a full declarative rule
+	// set (e.g. loaded from a -rules file).
+	RuleSet *alert.RuleSet
+}
+
+// ruleSet resolves the effective rule set for these options.
+func (o Options) ruleSet() alert.RuleSet {
+	if o.RuleSet != nil {
+		return *o.RuleSet
+	}
+	return o.Rules.RuleSet()
 }
 
 // designAgg is the per-design rollup of a runs CSV.
@@ -225,7 +247,7 @@ func writeRunSection(b *strings.Builder, run *Run, opts Options) {
 
 	writeResilience(b, run.Checkpoint)
 
-	flags := Analyze(run, opts.Rules)
+	flags := AnalyzeRules(run, opts.ruleSet())
 	fmt.Fprintf(b, "\n### Anomalies\n\n")
 	if len(flags) == 0 {
 		fmt.Fprintf(b, "none detected.\n")

@@ -8,6 +8,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/alert"
 )
 
 // This file analyzes a bbserve service_trace.json — the per-job span
@@ -85,19 +87,17 @@ type TraceFlag struct {
 	Detail string
 }
 
-// sumByPrefix totals the durations of spans whose name is prefix or
-// starts with prefix+"/" (the per-design span families).
-func sumByPrefix(spans []TraceSpan, prefix string) (total float64, n int) {
-	for _, s := range spans {
-		if s.Name == prefix || strings.HasPrefix(s.Name, prefix+"/") {
-			total += s.DurUS
-			n++
-		}
+// SpanSamples lowers a span tree into the alert engine's input shape.
+func SpanSamples(spans []TraceSpan) []alert.Span {
+	out := make([]alert.Span, len(spans))
+	for i, s := range spans {
+		out[i] = alert.Span{Name: s.Name, DurUS: s.DurUS, Status: s.Status}
 	}
-	return total, n
+	return out
 }
 
-// AnalyzeTrace applies the service-trace anomaly rules:
+// AnalyzeTrace applies the service-trace anomaly rules via the shared
+// alert engine (the same rules a live bbserve job evaluates):
 //
 //   - queue-dominated: the job waited in the queue longer than it
 //     simulated — the fleet is undersized for the offered load.
@@ -109,35 +109,16 @@ func sumByPrefix(spans []TraceSpan, prefix string) (total float64, n int) {
 //     "cache-hit slower than miss" smell).
 //   - aborted/error spans: the tree records a drain abort or failure.
 func AnalyzeTrace(spans []TraceSpan) []TraceFlag {
+	return AnalyzeTraceRules(spans, alert.Defaults())
+}
+
+// AnalyzeTraceRules evaluates an arbitrary rule set over a span tree,
+// preserving the engine's rule order.
+func AnalyzeTraceRules(spans []TraceSpan, rs alert.RuleSet) []TraceFlag {
+	alerts := alert.Evaluate(alert.Input{Spans: SpanSamples(spans)}, rs)
 	var flags []TraceFlag
-	sim, simN := sumByPrefix(spans, "simulate")
-	queue, _ := sumByPrefix(spans, "queue_wait")
-	dec, _ := sumByPrefix(spans, "decode")
-	spool, _ := sumByPrefix(spans, "spool")
-	look, _ := sumByPrefix(spans, "cache_lookup")
-	if simN > 0 {
-		if queue > sim {
-			flags = append(flags, TraceFlag{"queue-dominated",
-				fmt.Sprintf("queue wait %s µs exceeds simulate %s µs — worker fleet undersized for offered load", f3(queue), f3(sim))})
-		}
-		if dec > sim {
-			flags = append(flags, TraceFlag{"decode-dominated",
-				fmt.Sprintf("decode %s µs exceeds simulate %s µs — codec or storage bound, not model bound", f3(dec), f3(sim))})
-		}
-		if spool+look > sim {
-			flags = append(flags, TraceFlag{"admission-dominated",
-				fmt.Sprintf("spool+cache_lookup %s µs exceeds simulate %s µs — a cache hit would cost more than this miss simulated", f3(spool+look), f3(sim))})
-		}
-	}
-	bad := 0
-	for _, s := range spans {
-		if s.Status != "ok" {
-			bad++
-		}
-	}
-	if bad > 0 {
-		flags = append(flags, TraceFlag{"incomplete-spans",
-			fmt.Sprintf("%d of %d spans ended aborted or in error", bad, len(spans))})
+	for _, a := range alerts {
+		flags = append(flags, TraceFlag{Rule: a.Rule, Detail: a.Detail})
 	}
 	return flags
 }
@@ -179,9 +160,16 @@ func CriticalPath(spans []TraceSpan) []TraceSpan {
 	}
 }
 
-// WriteTraceMarkdown renders the span-tree analysis. Output is a pure
-// function of spans — the golden test diffs it bytewise.
+// WriteTraceMarkdown renders the span-tree analysis under the default
+// rules. Output is a pure function of spans — the golden test diffs it
+// bytewise.
 func WriteTraceMarkdown(w io.Writer, spans []TraceSpan) error {
+	return WriteTraceMarkdownRules(w, spans, alert.Defaults())
+}
+
+// WriteTraceMarkdownRules renders the same analysis under an arbitrary
+// rule set (e.g. a -rules file).
+func WriteTraceMarkdownRules(w io.Writer, spans []TraceSpan, rs alert.RuleSet) error {
 	b := &strings.Builder{}
 	var root *TraceSpan
 	for i := range spans {
@@ -249,7 +237,7 @@ func WriteTraceMarkdown(w io.Writer, spans []TraceSpan) error {
 			a.name, a.count, f3(a.totalUS), f1(share(a.totalUS, root.DurUS)), a.worstStatus)
 	}
 
-	flags := AnalyzeTrace(spans)
+	flags := AnalyzeTraceRules(spans, rs)
 	fmt.Fprintf(b, "\n### Anomalies\n\n")
 	if len(flags) == 0 {
 		fmt.Fprintf(b, "none detected.\n")

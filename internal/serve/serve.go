@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/alert"
 	"repro/internal/config"
 	"repro/internal/harness"
 	"repro/internal/obs"
@@ -74,6 +75,10 @@ type Server struct {
 	MaxTraceBytes int64        // request-body cap (default 1 GiB)
 	Log           *slog.Logger // nil is silent
 	Obs           *obs.Service // live gauges; nil disables
+
+	// Rules is the alert rule set evaluated live over every job (and
+	// written to its alerts.json artifact). Empty means alert.Defaults().
+	Rules alert.RuleSet
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -127,19 +132,25 @@ type job struct {
 
 // ProgressEvent is one structured progress record streamed over the
 // job's SSE endpoint. States advance queued → decoding → simulating →
-// done|failed; simulating events carry the sweep's live gauges.
+// done|failed; simulating events carry the sweep's live gauges, and
+// interleaved "alert" events carry each live firing transition.
 type ProgressEvent struct {
-	Seq          int    `json:"seq"`
-	State        string `json:"state"`
-	CellsDone    uint64 `json:"cells_done"`
-	CellsPlanned uint64 `json:"cells_planned"`
-	Accesses     uint64 `json:"accesses"`
-	Error        string `json:"error,omitempty"`
+	Seq          int          `json:"seq"`
+	State        string       `json:"state"`
+	CellsDone    uint64       `json:"cells_done"`
+	CellsPlanned uint64       `json:"cells_planned"`
+	Accesses     uint64       `json:"accesses"`
+	Error        string       `json:"error,omitempty"`
+	Alert        *alert.Alert `json:"alert,omitempty"`
 }
 
 // ServiceTraceName is the exported span-tree artifact written into every
 // executed job's run directory (Chrome trace_event JSON).
 const ServiceTraceName = "service_trace.json"
+
+// AlertsName is the alert report artifact (rules + firing alerts)
+// written next to runs.csv and hashed into the manifest.
+const AlertsName = "alerts.json"
 
 // JobStatus is the JSON body of submit and poll responses.
 type JobStatus struct {
@@ -170,6 +181,12 @@ func (s *Server) Start() error {
 	}
 	if s.MaxTraceBytes <= 0 {
 		s.MaxTraceBytes = DefaultMaxTraceBytes
+	}
+	if len(s.Rules.Rules) == 0 {
+		s.Rules = alert.Defaults()
+	}
+	if err := s.Rules.Validate(); err != nil {
+		return fmt.Errorf("serve: %w", err)
 	}
 	for _, dir := range []string{s.DataDir, s.tracesDir(), s.runsDir()} {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -335,6 +352,20 @@ func (s *Server) appendEventLocked(j *job, state string, snap *obs.Snapshot, err
 	j.events = append(j.events, ev)
 	close(j.evch)
 	j.evch = make(chan struct{})
+}
+
+// jobAlert is the per-job monitor's OnAlert hook: every live firing
+// transition annotates the job's run span and becomes one "alert" SSE
+// event carrying the full alert (the monitor itself emits the slog
+// record, so this only handles the span tree and the event stream).
+func (s *Server) jobAlert(j *job, runSpan obs.SpanID, a alert.Alert) {
+	j.Trace.Annotate(runSpan, "alert/"+a.Rule, a.Design+"/"+a.Bench+": "+a.Detail)
+	s.mu.Lock()
+	ev := ProgressEvent{Seq: len(j.events) + 1, State: "alert", Alert: &a}
+	j.events = append(j.events, ev)
+	close(j.evch)
+	j.evch = make(chan struct{})
+	s.mu.Unlock()
 }
 
 // jobProgress is the per-job sweep's OnUpdate hook: every cell
@@ -654,8 +685,8 @@ func (s *Server) worker() {
 }
 
 // runJob replays the job's trace on its design selection and writes the
-// manifest-verified run directory: runs.csv, the span-tree
-// service_trace.json, the manifest hashing both, and session.json.
+// manifest-verified run directory: runs.csv, alerts.json, the span-tree
+// service_trace.json, the manifest hashing all three, and session.json.
 //
 // Span bookkeeping: the "run" span opens here under the job root and
 // every phase nests below it — decode spans from the open closure,
@@ -676,6 +707,11 @@ func (s *Server) runJob(j *job) error {
 	sw := obs.NewSweep("job " + j.ID)
 	sw.OnUpdate = func(snap obs.Snapshot) { s.jobProgress(j, snap) }
 	h.Obs = sw
+	mon := alert.NewMonitor(s.Rules)
+	mon.Log = s.Log
+	mon.OnAlert = func(a alert.Alert) { s.jobAlert(j, runSpan, a) }
+	h.Alerts = mon
+	sw.Alerts = mon
 	designs := harness.AllDesigns
 	if j.Design != "all" {
 		designs = []config.Design{config.Design(j.Design)}
@@ -740,7 +776,15 @@ func (s *Server) runJob(j *job) error {
 			rf.Close()
 			return err
 		}
-		return rf.Close()
+		if err := rf.Close(); err != nil {
+			return err
+		}
+		// The artifact is a pure evaluation over the assembled results
+		// (matrix order), never the monitor's state — that keeps it
+		// byte-identical at any worker parallelism, while the live
+		// monitor above is proven to agree by the harness equality test.
+		return alert.WriteJSONFile(filepath.Join(j.Dir, AlertsName),
+			s.Rules, alert.Evaluate(harness.AlertInput(runs), s.Rules))
 	}()
 	if err != nil {
 		tr.Fail(ws, err)
@@ -763,6 +807,9 @@ func (s *Server) runJob(j *job) error {
 		return err
 	}
 	if err := m.AddOutput(j.Dir, ServiceTraceName, "trace"); err != nil {
+		return err
+	}
+	if err := m.AddOutput(j.Dir, AlertsName, "alerts"); err != nil {
 		return err
 	}
 	if err := m.Write(j.Dir); err != nil {

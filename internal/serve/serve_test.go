@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/alert"
 	"repro/internal/harness"
 	"repro/internal/obs"
 	"repro/internal/report"
@@ -140,7 +141,7 @@ func TestJobLifecycle(t *testing.T) {
 		t.Fatalf("submit = %+v, want fresh queued job", st)
 	}
 	final := waitDone(t, ts, st.ID)
-	want := []string{"manifest.json", "runs.csv", "service_trace.json", "session.json"}
+	want := []string{"alerts.json", "manifest.json", "runs.csv", "service_trace.json", "session.json"}
 	if len(final.Files) != len(want) {
 		t.Fatalf("files = %v, want %v", final.Files, want)
 	}
@@ -186,7 +187,7 @@ func TestCacheHitDeterminism(t *testing.T) {
 		t.Fatalf("simulations after first job = %d, want 1", got)
 	}
 	first := map[string][]byte{}
-	for _, n := range []string{"runs.csv", "manifest.json", "service_trace.json"} {
+	for _, n := range []string{"runs.csv", "manifest.json", "service_trace.json", "alerts.json"} {
 		first[n] = fetch(t, ts, st1.ID, n)
 	}
 
@@ -460,6 +461,9 @@ func TestEventsAndServiceTrace(t *testing.T) {
 	states, events := readEvents(t, ts, st.ID)
 	var compact []string
 	for _, s := range states {
+		if s == "alert" { // alert events interleave freely with lifecycle states
+			continue
+		}
 		if len(compact) == 0 || compact[len(compact)-1] != s {
 			compact = append(compact, s)
 		}
@@ -688,5 +692,65 @@ func TestPutSubmission(t *testing.T) {
 	post, _ := submit(t, ts, "design=bumblebee&bench=fixture", tr)
 	if post.ID != st.ID || !post.Cached {
 		t.Fatalf("POST after PUT: id %q cached %v, want cache hit on %q", post.ID, post.Cached, st.ID)
+	}
+}
+
+// TestAlertLifecycle pins bbserve's leg of the alert tentpole: a job
+// run under a breaching rule set streams "alert" SSE events with full
+// payloads, annotates its run span, and writes an alerts.json artifact
+// whose p99 breaches the live stream agrees with one-for-one.
+func TestAlertLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, func(s *Server) {
+		s.Harness.TelemetryEpoch = 64
+		s.Rules = report.Rules{P99SLOCycles: 1}.RuleSet()
+	})
+	st, _ := submit(t, ts, "design=bumblebee&bench=fixture", fixtureTrace(t))
+	final := waitDone(t, ts, st.ID)
+
+	found := false
+	for _, n := range final.Files {
+		found = found || n == AlertsName
+	}
+	if !found {
+		t.Fatalf("files = %v, missing %s", final.Files, AlertsName)
+	}
+	var rep alert.Report
+	if err := json.Unmarshal(fetch(t, ts, st.ID, AlertsName), &rep); err != nil {
+		t.Fatal(err)
+	}
+	breaches := 0
+	for _, a := range rep.Alerts {
+		if a.Rule == "p99-slo-breach" {
+			breaches++
+		}
+	}
+	if breaches == 0 {
+		t.Fatalf("alerts.json holds no p99 breaches under SLO=1: %+v", rep.Alerts)
+	}
+
+	// Every artifact breach appeared live on the SSE stream, with the
+	// alert payload attached to the event.
+	states, events := readEvents(t, ts, st.ID)
+	live := 0
+	for i, s := range states {
+		if s != "alert" {
+			continue
+		}
+		ev := events[i]
+		if ev.Alert == nil || ev.Alert.Rule == "" || ev.Alert.Detail == "" {
+			t.Fatalf("alert event missing payload: %+v", ev)
+		}
+		if ev.Alert.Rule == "p99-slo-breach" {
+			live++
+		}
+	}
+	if live != breaches {
+		t.Errorf("live p99 alert events = %d, artifact holds %d", live, breaches)
+	}
+
+	// Each firing transition also annotated the job's run span.
+	raw := fetch(t, ts, st.ID, ServiceTraceName)
+	if !bytes.Contains(raw, []byte("alert/p99-slo-breach")) {
+		t.Fatal("service trace carries no alert annotation")
 	}
 }
